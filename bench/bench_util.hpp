@@ -1,0 +1,23 @@
+// Shared helpers for the experiment harnesses.
+//
+// Every binary prints the paper artifact it regenerates (paper value vs
+// measured value). Defaults finish in seconds on one core; setting
+// ADVOCAT_FULL=1 in the environment runs paper-scale instances.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace advocat::bench {
+
+inline bool full_scale() { return std::getenv("ADVOCAT_FULL") != nullptr; }
+
+inline void header(const char* id, const char* what) {
+  std::printf("=== %s: %s ===\n", id, what);
+  if (!full_scale()) {
+    std::printf("(reduced instance sizes; set ADVOCAT_FULL=1 for "
+                "paper-scale runs)\n");
+  }
+}
+
+}  // namespace advocat::bench

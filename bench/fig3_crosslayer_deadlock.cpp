@@ -1,0 +1,54 @@
+// E3 — Fig. 3: the cross-layer deadlock on a 2x2 mesh.
+//
+// Paper: with every queue of size 2, the abstract MI protocol deadlocks
+// (cache (0,0) wedges get+put toward the directory, the directory spins on
+// inv injection, the owner cannot flush); with size 3 the system is
+// deadlock-free. ADVOCAT finds the size-2 deadlock, the explicit-state
+// explorer confirms it is *reachable* (the role UPPAAL plays in the
+// paper), and ADVOCAT proves size 3 free.
+#include <cstdio>
+
+#include "advocat/verifier.hpp"
+#include "bench_util.hpp"
+#include "coherence/mi_abstract.hpp"
+#include "sim/explorer.hpp"
+#include "sim/simulator.hpp"
+
+using namespace advocat;
+
+int main() {
+  bench::header("E3 / Fig. 3", "cross-layer deadlock in a 2x2 mesh");
+
+  for (std::size_t cap : {2u, 3u}) {
+    coh::MiAbstractConfig config;
+    config.queue_capacity = cap;
+    coh::MiAbstractSystem sys = coh::build_mi_abstract(config);
+    const core::VerifyResult result = core::verify(sys.net);
+    std::printf("\nqueue size %zu: paper=%s measured=%s (%.2fs)\n", cap,
+                cap == 2 ? "deadlock" : "deadlock-free",
+                result.deadlock_free() ? "deadlock-free" : "deadlock candidate",
+                result.total_seconds);
+    if (!result.deadlock_free()) {
+      std::printf("%s", result.report.to_string().c_str());
+
+      sim::Simulator simulator(sys.net);
+      sim::ExploreOptions options;
+      options.max_states = 500'000;
+      const sim::ExploreResult reach = sim::explore(simulator, options);
+      if (reach.deadlock.has_value()) {
+        std::printf("explorer: deadlock REACHABLE after %zu states; "
+                    "trace (%zu events):\n",
+                    reach.states_visited, reach.trace.size());
+        for (const auto& label : reach.trace) {
+          std::printf("  %s\n", label.c_str());
+        }
+        std::printf("deadlocked state:\n%s",
+                    simulator.describe(*reach.deadlock).c_str());
+      } else {
+        std::printf("explorer: no deadlock within %zu states\n",
+                    reach.states_visited);
+      }
+    }
+  }
+  return 0;
+}

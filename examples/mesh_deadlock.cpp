@@ -1,0 +1,44 @@
+// Example: find a cross-layer deadlock on a mesh, confirm it is reachable,
+// and print the event trace that leads to it.
+//
+// Usage:   ./build/examples/mesh_deadlock [queue_capacity=2]
+#include <cstdio>
+#include <cstdlib>
+
+#include "advocat/verifier.hpp"
+#include "coherence/mi_abstract.hpp"
+#include "sim/explorer.hpp"
+#include "sim/simulator.hpp"
+
+using namespace advocat;
+
+int main(int argc, char** argv) {
+  coh::MiAbstractConfig config;
+  config.queue_capacity =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 2;
+  std::printf("2x2 mesh, abstract MI protocol, queue capacity %zu\n",
+              config.queue_capacity);
+
+  coh::MiAbstractSystem sys = coh::build_mi_abstract(config);
+  const core::VerifyResult result = core::verify(sys.net);
+  std::printf("%s", result.to_string().c_str());
+  if (result.deadlock_free()) return 0;
+
+  // ADVOCAT found a candidate; confirm reachability with the explorer.
+  sim::Simulator simulator(sys.net);
+  sim::ExploreOptions options;
+  options.max_states = 500'000;
+  const sim::ExploreResult reach = sim::explore(simulator, options);
+  if (!reach.deadlock.has_value()) {
+    std::printf("candidate not confirmed within %zu states (a false "
+                "negative of the abstraction)\n",
+                reach.states_visited);
+    return 2;
+  }
+  std::printf("\nreachable deadlock after %zu explored states; trace:\n",
+              reach.states_visited);
+  for (const auto& label : reach.trace) std::printf("  %s\n", label.c_str());
+  std::printf("\ndeadlocked state:\n%s",
+              simulator.describe(*reach.deadlock).c_str());
+  return 1;
+}

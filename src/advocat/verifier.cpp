@@ -1,0 +1,107 @@
+#include "advocat/verifier.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "invariants/generator.hpp"
+#include "smt/expr.hpp"
+#include "util/stopwatch.hpp"
+#include "xmas/typing.hpp"
+
+namespace advocat::core {
+
+std::string VerifyResult::to_string() const {
+  std::ostringstream os;
+  os << report.to_string();
+  os << "invariants: " << num_invariants << " equalities, "
+     << num_inequalities << " inequalities\n";
+  os << "time: typing " << typing_seconds << "s, invariants "
+     << invariant_seconds << "s, total " << total_seconds << "s\n";
+  return os.str();
+}
+
+VerifyResult verify(const xmas::Network& net, const VerifyOptions& options) {
+  util::Stopwatch total;
+  VerifyResult result;
+
+  const std::vector<std::string> problems = net.validate();
+  if (!problems.empty()) {
+    std::string msg = "verify: invalid network:";
+    for (const auto& p : problems) msg += "\n  " + p;
+    throw std::invalid_argument(msg);
+  }
+
+  util::Stopwatch watch;
+  const xmas::Typing typing = xmas::Typing::derive(net);
+  result.typing_seconds = watch.seconds();
+
+  smt::ExprFactory factory;
+  std::vector<smt::ExprId> extra;
+  if (options.use_invariants) {
+    watch.reset();
+    inv::InvariantSet invariants =
+        inv::generate(net, typing, options.use_inequalities);
+    result.invariant_seconds = watch.seconds();
+    result.num_invariants = invariants.equalities.size();
+    result.num_inequalities = invariants.inequalities.size();
+    result.invariant_text = invariants.to_strings();
+    extra = invariants.to_smt(factory);
+  }
+  if (options.use_flow_completion) {
+    const std::vector<smt::ExprId> flow =
+        inv::flow_completion_smt(net, typing, factory);
+    extra.insert(extra.end(), flow.begin(), flow.end());
+  }
+
+  result.report =
+      deadlock::check(net, typing, factory, extra, options.timeout_ms);
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+QueueSizingResult find_minimal_queue_size(
+    const std::function<xmas::Network(std::size_t)>& make_net,
+    const QueueSizingOptions& options) {
+  util::Stopwatch total;
+  QueueSizingResult result;
+
+  auto probe = [&](std::size_t capacity) {
+    const xmas::Network net = make_net(capacity);
+    const bool free = verify(net, options.verify).deadlock_free();
+    result.probes.emplace_back(capacity, free);
+    return free;
+  };
+
+  // Exponential search for the first deadlock-free capacity.
+  std::size_t lo = options.min_capacity;  // invariant: lo-1 known-bad or min
+  std::size_t hi = 0;                     // first known-good capacity
+  std::size_t step = options.min_capacity;
+  std::size_t last_bad = options.min_capacity - 1;
+  for (std::size_t cap = options.min_capacity; cap <= options.max_capacity;) {
+    if (probe(cap)) {
+      hi = cap;
+      break;
+    }
+    last_bad = cap;
+    step *= 2;
+    cap = cap + step > options.max_capacity && cap != options.max_capacity
+              ? options.max_capacity
+              : cap + step;
+  }
+  if (hi == 0) {
+    result.seconds = total.seconds();
+    return result;  // nothing within range
+  }
+  // Binary search in (last_bad, hi].
+  lo = last_bad + 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (probe(mid)) hi = mid;
+    else lo = mid + 1;
+  }
+  result.minimal_capacity = hi;
+  result.seconds = total.seconds();
+  return result;
+}
+
+}  // namespace advocat::core

@@ -1,0 +1,72 @@
+// The end-to-end ADVOCAT pipeline:
+//   structural validation → T-derivation → cross-layer invariant
+//   generation → block/idle SMT deadlock query (with the invariants
+//   conjoined) → verdict + witness.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "deadlock/checker.hpp"
+#include "xmas/network.hpp"
+
+namespace advocat::core {
+
+struct VerifyOptions {
+  /// Conjoin generated flow invariants (the paper's method). Without them
+  /// the query degenerates to plain Gotmanov-style detection.
+  bool use_invariants = true;
+  /// Also conjoin derived ≤-inequalities (extension; tightens pruning).
+  bool use_inequalities = true;
+  /// Assert the unprojected flow system with nonnegative λ/κ variables
+  /// (extension; subsumes the equalities and prunes candidates whose only
+  /// flow completions need negative counters — required for the
+  /// GEM5-style MI protocol).
+  bool use_flow_completion = false;
+  /// Z3 timeout per query; 0 = unlimited.
+  unsigned timeout_ms = 0;
+};
+
+struct VerifyResult {
+  deadlock::Report report;
+  std::size_t num_invariants = 0;
+  std::size_t num_inequalities = 0;
+  std::vector<std::string> invariant_text;  ///< pretty-printed invariants
+
+  double typing_seconds = 0.0;
+  double invariant_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  [[nodiscard]] bool deadlock_free() const { return report.deadlock_free(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Runs the full pipeline. Throws std::invalid_argument when the network
+/// fails structural validation.
+VerifyResult verify(const xmas::Network& net, const VerifyOptions& options = {});
+
+struct QueueSizingOptions {
+  std::size_t min_capacity = 1;
+  std::size_t max_capacity = 256;
+  VerifyOptions verify;
+};
+
+struct QueueSizingResult {
+  /// Smallest probed capacity proven deadlock-free; 0 when none within
+  /// [min, max] was.
+  std::size_t minimal_capacity = 0;
+  /// (capacity, deadlock_free) for every probe, in probe order.
+  std::vector<std::pair<std::size_t, bool>> probes;
+  double seconds = 0.0;
+};
+
+/// Finds the minimal uniform queue capacity for which `make_net(capacity)`
+/// verifies deadlock-free. Assumes monotonicity (larger queues never
+/// introduce deadlocks — true for the paper's case studies): exponential
+/// probe up from min_capacity, then binary search.
+QueueSizingResult find_minimal_queue_size(
+    const std::function<xmas::Network(std::size_t)>& make_net,
+    const QueueSizingOptions& options = {});
+
+}  // namespace advocat::core

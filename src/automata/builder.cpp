@@ -1,0 +1,133 @@
+#include "automata/builder.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace advocat::aut {
+
+TransitionBuilder& TransitionBuilder::emit(int out_port, ColorId color) {
+  auto& t = owner_->pending_.at(index_);
+  t.emit_port = out_port;
+  t.emit_color = color;
+  t.produce = nullptr;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::emit_fn(
+    int out_port, std::function<ColorId(ColorId)> produce) {
+  auto& t = owner_->pending_.at(index_);
+  t.emit_port = out_port;
+  t.produce = std::move(produce);
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::go(const std::string& state) {
+  owner_->pending_.at(index_).to = owner_->state_index(state);
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::label(std::string text) {
+  owner_->pending_.at(index_).label = std::move(text);
+  return *this;
+}
+
+AutomatonBuilder::AutomatonBuilder(std::string name,
+                                   std::vector<std::string> states) {
+  proto_.name = std::move(name);
+  proto_.states = std::move(states);
+  if (proto_.states.empty())
+    throw std::invalid_argument("automaton needs at least one state");
+  proto_.initial = 0;
+  proto_.num_in = 1;
+  proto_.num_out = 1;
+}
+
+AutomatonBuilder& AutomatonBuilder::in_ports(int n) {
+  proto_.num_in = n;
+  return *this;
+}
+
+AutomatonBuilder& AutomatonBuilder::out_ports(int n) {
+  proto_.num_out = n;
+  return *this;
+}
+
+AutomatonBuilder& AutomatonBuilder::initial(const std::string& state) {
+  proto_.initial = state_index(state);
+  return *this;
+}
+
+int AutomatonBuilder::state_index(const std::string& state) const {
+  for (std::size_t i = 0; i < proto_.states.size(); ++i) {
+    if (proto_.states[i] == state) return static_cast<int>(i);
+  }
+  throw std::out_of_range(proto_.name + ": unknown state " + state);
+}
+
+TransitionBuilder AutomatonBuilder::on(const std::string& from, int in_port,
+                                       ColorId color) {
+  PendingTransition t;
+  t.from = state_index(from);
+  t.guard = [in_port, color](int i, ColorId d) {
+    return i == in_port && d == color;
+  };
+  t.label = util::cat(from, ": port", in_port, "?");
+  pending_.push_back(std::move(t));
+  return TransitionBuilder(this, pending_.size() - 1);
+}
+
+TransitionBuilder AutomatonBuilder::on_any(const std::string& from, int in_port,
+                                           ColorSet colors) {
+  PendingTransition t;
+  t.from = state_index(from);
+  t.guard = [in_port, colors = std::move(colors)](int i, ColorId d) {
+    return i == in_port && xmas::set_contains(colors, d);
+  };
+  t.label = util::cat(from, ": port", in_port, "? (set)");
+  pending_.push_back(std::move(t));
+  return TransitionBuilder(this, pending_.size() - 1);
+}
+
+TransitionBuilder AutomatonBuilder::on_pred(
+    const std::string& from, std::function<bool(int, ColorId)> guard,
+    std::string label) {
+  PendingTransition t;
+  t.from = state_index(from);
+  t.guard = std::move(guard);
+  t.label = std::move(label);
+  pending_.push_back(std::move(t));
+  return TransitionBuilder(this, pending_.size() - 1);
+}
+
+Automaton AutomatonBuilder::build() const {
+  Automaton a = proto_;
+  for (const PendingTransition& p : pending_) {
+    AutTransition t;
+    t.from = p.from;
+    t.to = p.to == -1 ? p.from : p.to;
+    t.guard = p.guard;
+    t.label = p.label;
+    if (p.emit_port < 0) {
+      t.transform = [](int, ColorId) { return std::optional<Emission>{}; };
+    } else if (p.produce) {
+      const int port = p.emit_port;
+      const auto produce = p.produce;
+      t.transform = [port, produce](int, ColorId d) {
+        return std::optional<Emission>({port, produce(d)});
+      };
+    } else {
+      const int port = p.emit_port;
+      const ColorId color = p.emit_color;
+      t.transform = [port, color](int, ColorId) {
+        return std::optional<Emission>({port, color});
+      };
+    }
+    if (p.emit_port >= 0 && p.emit_port >= a.num_out)
+      throw std::logic_error(a.name + ": emit port out of range: " + t.label);
+    a.transitions.push_back(std::move(t));
+  }
+  return a;
+}
+
+}  // namespace advocat::aut

@@ -1,0 +1,97 @@
+// Fluent builder for xMAS IO automata.
+//
+// Writing Automaton transition lambdas by hand is verbose and error-prone;
+// the builder offers the common transition shapes used by protocol models:
+//
+//   AutomatonBuilder b("cache", {"I", "M", "MI"});
+//   b.in_ports(2).out_ports(1);
+//   b.on("I", kCorePort, miss).emit(kNetPort, get).go("M");
+//   b.on("M", kNetPort, inv).emit(kNetPort, put).go("MI");
+//   b.on("MI", kNetPort, ack).go("I");
+//   Automaton a = b.build();
+//
+// Guards can match a single color, a set of colors, or a predicate on
+// ColorData; emissions can be a fixed color or computed from the consumed
+// color.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xmas/automaton.hpp"
+#include "xmas/color.hpp"
+
+namespace advocat::aut {
+
+using xmas::Automaton;
+using xmas::AutTransition;
+using xmas::ColorId;
+using xmas::ColorSet;
+using xmas::Emission;
+
+class AutomatonBuilder;
+
+/// One transition under construction; returned by AutomatonBuilder::on().
+class TransitionBuilder {
+ public:
+  /// Emits a fixed color on `out_port` when the transition fires.
+  TransitionBuilder& emit(int out_port, ColorId color);
+  /// Emits a color computed from the consumed color.
+  TransitionBuilder& emit_fn(int out_port,
+                             std::function<ColorId(ColorId)> produce);
+  /// Moves to `state` (defaults to staying in the source state otherwise).
+  TransitionBuilder& go(const std::string& state);
+  /// Overrides the auto-generated label.
+  TransitionBuilder& label(std::string text);
+
+ private:
+  friend class AutomatonBuilder;
+  TransitionBuilder(AutomatonBuilder* owner, std::size_t index)
+      : owner_(owner), index_(index) {}
+  AutomatonBuilder* owner_;
+  std::size_t index_;
+};
+
+class AutomatonBuilder {
+ public:
+  AutomatonBuilder(std::string name, std::vector<std::string> states);
+
+  AutomatonBuilder& in_ports(int n);
+  AutomatonBuilder& out_ports(int n);
+  AutomatonBuilder& initial(const std::string& state);
+
+  /// Transition consuming exactly `color` on `in_port` from `from`.
+  TransitionBuilder on(const std::string& from, int in_port, ColorId color);
+  /// Transition consuming any color of `colors` on `in_port`.
+  TransitionBuilder on_any(const std::string& from, int in_port,
+                           ColorSet colors);
+  /// Fully general guard ε(i, d).
+  TransitionBuilder on_pred(const std::string& from,
+                            std::function<bool(int, ColorId)> guard,
+                            std::string label);
+
+  [[nodiscard]] int state_index(const std::string& state) const;
+
+  /// Finalizes; throws std::logic_error on dangling or malformed pieces.
+  [[nodiscard]] Automaton build() const;
+
+ private:
+  friend class TransitionBuilder;
+
+  struct PendingTransition {
+    int from = 0;
+    int to = -1;  // -1: self-loop by default
+    std::function<bool(int, ColorId)> guard;
+    int emit_port = -1;
+    std::function<ColorId(ColorId)> produce;  // null with emit_port>=0: fixed
+    ColorId emit_color = xmas::kNoColor;
+    std::string label;
+  };
+
+  Automaton proto_;
+  std::vector<PendingTransition> pending_;
+};
+
+}  // namespace advocat::aut

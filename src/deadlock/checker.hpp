@@ -1,0 +1,44 @@
+// End-to-end deadlock check: encode, assert optional invariants, solve,
+// decode the witness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "smt/expr.hpp"
+#include "smt/solver.hpp"
+#include "xmas/network.hpp"
+#include "xmas/typing.hpp"
+
+namespace advocat::deadlock {
+
+struct Report {
+  smt::SatResult result = smt::SatResult::Unknown;
+  /// Human-readable verdict: result == Unsat means deadlock-free.
+  [[nodiscard]] bool deadlock_free() const {
+    return result == smt::SatResult::Unsat;
+  }
+
+  /// Disjunct tags that evaluate true in the model (Sat only).
+  std::vector<std::string> fired;
+  /// "queue: k x color" occupancy lines of the candidate (Sat only).
+  std::vector<std::string> queue_contents;
+  /// "automaton: state" lines of the candidate (Sat only).
+  std::vector<std::string> automaton_states;
+
+  double encode_seconds = 0.0;
+  double solve_seconds = 0.0;
+  std::size_t num_definitions = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Runs the block/idle deadlock query. `extra_assertions` (typically the
+/// generated invariants) are conjoined; they must come from `factory`.
+/// `timeout_ms` 0 = no limit.
+Report check(const xmas::Network& net, const xmas::Typing& typing,
+             smt::ExprFactory& factory,
+             const std::vector<smt::ExprId>& extra_assertions = {},
+             unsigned timeout_ms = 0);
+
+}  // namespace advocat::deadlock

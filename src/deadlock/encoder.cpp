@@ -1,0 +1,332 @@
+#include "deadlock/encoder.hpp"
+
+#include <stdexcept>
+
+#include "deadlock/varnames.hpp"
+
+namespace advocat::deadlock {
+
+using xmas::ChanId;
+using xmas::ColorId;
+using xmas::ColorSet;
+using xmas::PrimId;
+using xmas::PrimKind;
+using xmas::Primitive;
+
+namespace {
+
+std::uint64_t key(ChanId c, ColorId d) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c)) << 32) |
+         static_cast<std::uint32_t>(d);
+}
+
+}  // namespace
+
+Encoder::Encoder(const xmas::Network& net, const xmas::Typing& typing,
+                 smt::ExprFactory& factory)
+    : net_(net), typing_(typing), f_(factory) {}
+
+smt::ExprId Encoder::occ(PrimId queue, ColorId d) {
+  return f_.int_var(occ_var_name(net_, queue, d));
+}
+
+smt::ExprId Encoder::state(int automaton_index, int s) {
+  return f_.int_var(state_var_name(net_, automaton_index, s));
+}
+
+smt::ExprId Encoder::block(ChanId c, ColorId d) {
+  const std::uint64_t k = key(c, d);
+  auto it = block_vars_.find(k);
+  if (it != block_vars_.end()) return it->second;
+  const smt::ExprId var = f_.bool_var(
+      "Blk[" + net_.channel_name(c) + ":" + net_.colors().name(d) + "]");
+  block_vars_.emplace(k, var);  // insert before recursing (cycles)
+  defs_.push_back(f_.iff(var, block_rhs(c, d)));
+  return var;
+}
+
+smt::ExprId Encoder::idle(ChanId c, ColorId d) {
+  const std::uint64_t k = key(c, d);
+  auto it = idle_vars_.find(k);
+  if (it != idle_vars_.end()) return it->second;
+  const smt::ExprId var = f_.bool_var(
+      "Idl[" + net_.channel_name(c) + ":" + net_.colors().name(d) + "]");
+  idle_vars_.emplace(k, var);
+  defs_.push_back(f_.iff(var, idle_rhs(c, d)));
+  return var;
+}
+
+smt::ExprId Encoder::dead(int automaton_index) {
+  auto it = dead_vars_.find(automaton_index);
+  if (it != dead_vars_.end()) return it->second;
+  const xmas::Automaton& a =
+      net_.automata().at(static_cast<std::size_t>(automaton_index));
+  const smt::ExprId var = f_.bool_var("Dead[" + a.name + "]");
+  dead_vars_.emplace(automaton_index, var);
+  defs_.push_back(f_.iff(var, dead_rhs(automaton_index)));
+  return var;
+}
+
+smt::ExprId Encoder::idle_all(ChanId c) {
+  std::vector<smt::ExprId> parts;
+  for (ColorId d : typing_.of(c)) parts.push_back(idle(c, d));
+  return f_.and_(std::move(parts));
+}
+
+smt::ExprId Encoder::block_of_emission(
+    const Primitive& prim, const std::optional<xmas::Emission>& em) {
+  if (!em.has_value()) return f_.bool_const(false);  // block(⊥) = False
+  const auto [port, color] = *em;
+  return block(prim.out.at(static_cast<std::size_t>(port)), color);
+}
+
+smt::ExprId Encoder::block_rhs(ChanId c, ColorId d) {
+  const xmas::Channel& ch = net_.channel(c);
+  const Primitive& p = net_.prim(ch.target);
+  const int port = ch.tgt_port;
+  switch (p.kind) {
+    case PrimKind::Queue: {
+      const PrimId q = ch.target;
+      const ColorSet& stored = typing_.of(p.in[0]);
+      // full: Σ_d' #q.d' = capacity
+      std::vector<smt::ExprId> occs;
+      for (ColorId d2 : stored) occs.push_back(occ(q, d2));
+      const smt::ExprId full =
+          f_.eq(f_.add(occs), f_.int_const(static_cast<std::int64_t>(p.capacity)));
+      const ColorSet& out_colors = typing_.of(p.out[0]);
+      if (p.fifo) {
+        // FIFO: blocked iff full and some stored packet (potentially at the
+        // head) is permanently stuck.
+        std::vector<smt::ExprId> some_stuck;
+        for (ColorId d2 : out_colors) {
+          some_stuck.push_back(f_.and_(
+              {f_.ge(occ(q, d2), f_.int_const(1)), block(p.out[0], d2)}));
+        }
+        return f_.and_({full, f_.or_(std::move(some_stuck))});
+      }
+      // Bag ("stall & requeue"): blocked iff full and *every* stored packet
+      // is permanently stuck (any consumable packet eventually frees space).
+      std::vector<smt::ExprId> all_stuck;
+      for (ColorId d2 : out_colors) {
+        all_stuck.push_back(f_.or_(
+            {f_.eq(occ(q, d2), f_.int_const(0)), block(p.out[0], d2)}));
+      }
+      return f_.and_({full, f_.and_(std::move(all_stuck))});
+    }
+    case PrimKind::Sink:
+      return f_.bool_const(!p.fair);  // fair sink never blocks; dead always
+    case PrimKind::Function:
+      return block(p.out[0], p.func(d));
+    case PrimKind::Fork:
+      // Both outputs must be ready; blocked if either is blocked.
+      return f_.or_({block(p.out[0], d), block(p.out[1], d)});
+    case PrimKind::Join: {
+      const ChanId data_in = p.in[0];
+      const ChanId token_in = p.in[1];
+      if (port == 0) {
+        // Data side: output stuck, or the token never arrives.
+        return f_.or_({block(p.out[0], d), idle_all(token_in)});
+      }
+      // Token side: stuck iff for every data color, it never arrives or the
+      // output is blocked for it.
+      std::vector<smt::ExprId> parts;
+      for (ColorId d2 : typing_.of(data_in)) {
+        parts.push_back(f_.or_({idle(data_in, d2), block(p.out[0], d2)}));
+      }
+      return f_.and_(std::move(parts));
+    }
+    case PrimKind::Switch: {
+      const int out_port = p.route(d);
+      if (out_port < 0 || static_cast<std::size_t>(out_port) >= p.out.size())
+        return f_.bool_const(true);  // unroutable colors are never accepted
+      return block(p.out[static_cast<std::size_t>(out_port)], d);
+    }
+    case PrimKind::Merge:
+      // Fair arbitration: an input is permanently refused only if the
+      // output is permanently blocked.
+      return block(p.out[0], d);
+    case PrimKind::Automaton: {
+      const xmas::Automaton& a = net_.automaton_of(p);
+      bool some_guard = false;
+      for (const auto& t : a.transitions) {
+        if (t.guard(port, d)) {
+          some_guard = true;
+          break;
+        }
+      }
+      // Paper: block(i,d) = (∀t. ¬ε(i,d)) ∨ dead_A.
+      if (!some_guard) return f_.bool_const(true);
+      return dead(p.automaton);
+    }
+    case PrimKind::Source:
+      break;  // sources have no in-ports
+  }
+  throw std::logic_error("block_rhs: bad target primitive");
+}
+
+smt::ExprId Encoder::idle_rhs(ChanId c, ColorId d) {
+  const xmas::Channel& ch = net_.channel(c);
+  const Primitive& p = net_.prim(ch.initiator);
+  const int port = ch.init_port;
+  switch (p.kind) {
+    case PrimKind::Source:
+      // Fair sources always eventually offer each of their colors.
+      return f_.bool_const(!(p.fair && xmas::set_contains(p.source_colors, d)));
+    case PrimKind::Queue: {
+      // d never leaves the queue iff it is not stored and it can stop
+      // *entering* forever — either the initiator stops offering it (idle)
+      // or the queue input is permanently refused (blocked) while d waits
+      // upstream. Omitting the blocked disjunct makes the encoding miss
+      // real deadlocks where a packet is wedged behind a saturated queue.
+      const PrimId q = ch.initiator;
+      return f_.and_({f_.eq(occ(q, d), f_.int_const(0)),
+                      f_.or_({idle(p.in[0], d), block(p.in[0], d)})});
+    }
+    case PrimKind::Function: {
+      // Idle iff every preimage is idle (no preimage -> never produced).
+      std::vector<smt::ExprId> parts;
+      for (ColorId d0 : typing_.of(p.in[0])) {
+        if (p.func(d0) == d) parts.push_back(idle(p.in[0], d0));
+      }
+      return f_.and_(std::move(parts));
+    }
+    case PrimKind::Fork: {
+      // This output sees d iff the input offers it and the *other* output
+      // can accept it (fork transfers are simultaneous).
+      const ChanId other = p.out[port == 0 ? 1 : 0];
+      return f_.or_({idle(p.in[0], d), block(other, d)});
+    }
+    case PrimKind::Join:
+      // Output data comes from in-port 0; needs the token too.
+      return f_.or_({idle(p.in[0], d), idle_all(p.in[1])});
+    case PrimKind::Switch: {
+      if (p.route(d) != port) return f_.bool_const(true);
+      return idle(p.in[0], d);
+    }
+    case PrimKind::Merge: {
+      std::vector<smt::ExprId> parts;
+      for (ChanId in : p.in) {
+        if (xmas::set_contains(typing_.of(in), d)) parts.push_back(idle(in, d));
+      }
+      return f_.and_(std::move(parts));
+    }
+    case PrimKind::Automaton: {
+      const xmas::Automaton& a = net_.automaton_of(p);
+      // Paper: idle(o,d') = (∀t,i,d. ε(i,d) -> φ(i,d) ≠ (o,d')) ∨ dead_A.
+      bool some_producer = false;
+      for (const auto& t : a.transitions) {
+        for (int i = 0; i < a.num_in && !some_producer; ++i) {
+          for (ColorId d0 : typing_.of(p.in[static_cast<std::size_t>(i)])) {
+            if (!t.guard(i, d0)) continue;
+            auto em = t.transform(i, d0);
+            if (em.has_value() && em->first == port && em->second == d) {
+              some_producer = true;
+              break;
+            }
+          }
+        }
+        if (some_producer) break;
+      }
+      if (!some_producer) return f_.bool_const(true);
+      return dead(p.automaton);
+    }
+    case PrimKind::Sink:
+      break;  // sinks have no out-ports
+  }
+  throw std::logic_error("idle_rhs: bad initiator primitive");
+}
+
+smt::ExprId Encoder::dead_rhs(int automaton_index) {
+  const xmas::Automaton& a =
+      net_.automata().at(static_cast<std::size_t>(automaton_index));
+  const Primitive& p = net_.prim(net_.automaton_prim(automaton_index));
+  std::vector<smt::ExprId> per_state;
+  for (int s = 0; s < a.num_states(); ++s) {
+    std::vector<smt::ExprId> all_transitions_dead;
+    for (const auto& t : a.transitions) {
+      if (t.from != s) continue;
+      // A transition is dead iff every packet that could trigger it either
+      // never arrives (idle) or cannot be forwarded (block of φ).
+      std::vector<smt::ExprId> parts;
+      for (int i = 0; i < a.num_in; ++i) {
+        const ChanId in = p.in[static_cast<std::size_t>(i)];
+        for (ColorId d : typing_.of(in)) {
+          if (!t.guard(i, d)) continue;
+          parts.push_back(f_.or_(
+              {block_of_emission(p, t.transform(i, d)), idle(in, d)}));
+        }
+      }
+      all_transitions_dead.push_back(f_.and_(std::move(parts)));
+    }
+    per_state.push_back(
+        f_.and_({f_.eq(state(automaton_index, s), f_.int_const(1)),
+                 f_.and_(std::move(all_transitions_dead))}));
+  }
+  return f_.or_(std::move(per_state));
+}
+
+Encoding Encoder::encode() {
+  if (encoded_) throw std::logic_error("Encoder::encode called twice");
+  encoded_ = true;
+  Encoding enc;
+
+  // Structural constraints for every queue and automaton.
+  for (PrimId qid : net_.prims_of_kind(PrimKind::Queue)) {
+    const Primitive& q = net_.prim(qid);
+    const ColorSet& stored = typing_.of(q.in[0]);
+    std::vector<smt::ExprId> occs;
+    for (ColorId d : stored) {
+      const smt::ExprId v = occ(qid, d);
+      enc.structural.push_back(f_.ge(v, f_.int_const(0)));
+      occs.push_back(v);
+    }
+    if (!occs.empty()) {
+      enc.structural.push_back(f_.le(
+          f_.add(occs), f_.int_const(static_cast<std::int64_t>(q.capacity))));
+    }
+  }
+  for (std::size_t ai = 0; ai < net_.automata().size(); ++ai) {
+    const xmas::Automaton& a = net_.automata()[ai];
+    std::vector<smt::ExprId> states;
+    for (int s = 0; s < a.num_states(); ++s) {
+      const smt::ExprId v = state(static_cast<int>(ai), s);
+      enc.structural.push_back(f_.ge(v, f_.int_const(0)));
+      enc.structural.push_back(f_.le(v, f_.int_const(1)));
+      states.push_back(v);
+    }
+    enc.structural.push_back(f_.eq(f_.add(states), f_.int_const(1)));
+  }
+
+  // Deadlock disjuncts.
+  std::vector<smt::ExprId> disjuncts;
+  for (PrimId sid : net_.prims_of_kind(PrimKind::Source)) {
+    const Primitive& s = net_.prim(sid);
+    if (!s.fair) continue;
+    std::vector<smt::ExprId> parts;
+    for (ColorId d : s.source_colors) parts.push_back(block(s.out[0], d));
+    const smt::ExprId e = f_.or_(std::move(parts));
+    enc.disjuncts.emplace_back("source_blocked:" + s.name, e);
+    disjuncts.push_back(e);
+  }
+  for (PrimId qid : net_.prims_of_kind(PrimKind::Queue)) {
+    const Primitive& q = net_.prim(qid);
+    std::vector<smt::ExprId> parts;
+    for (ColorId d : typing_.of(q.out[0])) {
+      parts.push_back(
+          f_.and_({f_.ge(occ(qid, d), f_.int_const(1)), block(q.out[0], d)}));
+    }
+    const smt::ExprId e = f_.or_(std::move(parts));
+    enc.disjuncts.emplace_back("packet_stuck:" + q.name, e);
+    disjuncts.push_back(e);
+  }
+  for (std::size_t ai = 0; ai < net_.automata().size(); ++ai) {
+    const smt::ExprId e = dead(static_cast<int>(ai));
+    enc.disjuncts.emplace_back("dead:" + net_.automata()[ai].name, e);
+    disjuncts.push_back(e);
+  }
+  enc.deadlock = f_.or_(std::move(disjuncts));
+  enc.definitions = defs_;
+  return enc;
+}
+
+}  // namespace advocat::deadlock

@@ -1,0 +1,30 @@
+// Shared variable-naming convention for state variables.
+//
+// The deadlock encoder (src/deadlock) and the invariant generator
+// (src/invariants) must agree on SMT variable names so that invariants can
+// be asserted into the deadlock query:
+//   occupancy  #q.d     ->  "N[<queue>.<color>]"      (Int, >= 0)
+//   automaton  A.s      ->  "S[<automaton>.<state>]"  (Int, 0/1)
+#pragma once
+
+#include <string>
+
+#include "xmas/network.hpp"
+
+namespace advocat {
+
+[[nodiscard]] inline std::string occ_var_name(const xmas::Network& net,
+                                              xmas::PrimId queue,
+                                              xmas::ColorId color) {
+  return "N[" + net.prim(queue).name + "." + net.colors().name(color) + "]";
+}
+
+[[nodiscard]] inline std::string state_var_name(const xmas::Network& net,
+                                                int automaton_index,
+                                                int state) {
+  const xmas::Automaton& a =
+      net.automata().at(static_cast<std::size_t>(automaton_index));
+  return "S[" + a.name + "." + a.states.at(static_cast<std::size_t>(state)) + "]";
+}
+
+}  // namespace advocat

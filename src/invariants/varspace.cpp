@@ -1,0 +1,133 @@
+#include "invariants/varspace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "deadlock/varnames.hpp"
+
+namespace advocat::inv {
+
+using xmas::ChanId;
+using xmas::ColorId;
+using xmas::ColorSet;
+using xmas::PrimId;
+using xmas::PrimKind;
+
+namespace {
+
+// Position of d within the sorted set; -1 if absent.
+std::int32_t color_index(const ColorSet& set, ColorId d) {
+  auto it = std::lower_bound(set.begin(), set.end(), d);
+  if (it == set.end() || *it != d) return -1;
+  return static_cast<std::int32_t>(it - set.begin());
+}
+
+}  // namespace
+
+VarSpace::VarSpace(const xmas::Network& net, const xmas::Typing& typing)
+    : net_(net), typing_(typing) {
+  std::int32_t next = 0;
+  lambda_base_.resize(net.num_channels());
+  for (std::size_t c = 0; c < net.num_channels(); ++c) {
+    lambda_base_[c] = next;
+    next += static_cast<std::int32_t>(typing.of(static_cast<ChanId>(c)).size());
+  }
+  kappa_base_.resize(net.automata().size());
+  for (std::size_t a = 0; a < net.automata().size(); ++a) {
+    kappa_base_[a] = next;
+    next += static_cast<std::int32_t>(net.automata()[a].transitions.size());
+  }
+  first_kept_ = next;
+  occ_base_.assign(net.num_prims(), -1);
+  for (PrimId q : net.prims_of_kind(PrimKind::Queue)) {
+    occ_base_[static_cast<std::size_t>(q)] = next;
+    queue_ids_.push_back(q);
+    next += static_cast<std::int32_t>(typing.of(net.prim(q).in[0]).size());
+  }
+  state_base_.resize(net.automata().size());
+  for (std::size_t a = 0; a < net.automata().size(); ++a) {
+    state_base_[a] = next;
+    next += net.automata()[a].num_states();
+  }
+  num_cols_ = next;
+}
+
+std::int32_t VarSpace::lambda(ChanId c, ColorId d) const {
+  const std::int32_t i = color_index(typing_.of(c), d);
+  if (i < 0)
+    throw std::out_of_range("VarSpace::lambda: color not in T(" +
+                            net_.channel_name(c) + ")");
+  return lambda_base_[static_cast<std::size_t>(c)] + i;
+}
+
+std::int32_t VarSpace::kappa(int automaton_index, int transition) const {
+  return kappa_base_.at(static_cast<std::size_t>(automaton_index)) + transition;
+}
+
+std::int32_t VarSpace::occ(PrimId queue, ColorId d) const {
+  const std::int32_t base = occ_base_.at(static_cast<std::size_t>(queue));
+  if (base < 0) throw std::out_of_range("VarSpace::occ: not a queue");
+  const std::int32_t i =
+      color_index(typing_.of(net_.prim(queue).in[0]), d);
+  if (i < 0) throw std::out_of_range("VarSpace::occ: color not stored");
+  return base + i;
+}
+
+std::int32_t VarSpace::state(int automaton_index, int s) const {
+  return state_base_.at(static_cast<std::size_t>(automaton_index)) + s;
+}
+
+std::string VarSpace::name(std::int32_t col) const {
+  // Linear scan over family bases; only used for printing.
+  for (std::size_t c = 0; c < lambda_base_.size(); ++c) {
+    const ColorSet& set = typing_.of(static_cast<ChanId>(c));
+    if (col >= lambda_base_[c] &&
+        col < lambda_base_[c] + static_cast<std::int32_t>(set.size())) {
+      return "lam[" + net_.channel_name(static_cast<ChanId>(c)) + ":" +
+             net_.colors().name(set[static_cast<std::size_t>(col - lambda_base_[c])]) + "]";
+    }
+  }
+  for (std::size_t a = 0; a < kappa_base_.size(); ++a) {
+    const auto& aut = net_.automata()[a];
+    if (col >= kappa_base_[a] &&
+        col < kappa_base_[a] + static_cast<std::int32_t>(aut.transitions.size())) {
+      return "kap[" + aut.name + "." +
+             aut.transitions[static_cast<std::size_t>(col - kappa_base_[a])].label + "]";
+    }
+  }
+  for (PrimId q : queue_ids_) {
+    const ColorSet& set = typing_.of(net_.prim(q).in[0]);
+    const std::int32_t base = occ_base_[static_cast<std::size_t>(q)];
+    if (col >= base && col < base + static_cast<std::int32_t>(set.size())) {
+      return "#" + net_.prim(q).name + "." +
+             net_.colors().name(set[static_cast<std::size_t>(col - base)]);
+    }
+  }
+  for (std::size_t a = 0; a < state_base_.size(); ++a) {
+    const auto& aut = net_.automata()[a];
+    if (col >= state_base_[a] &&
+        col < state_base_[a] + aut.num_states()) {
+      return aut.name + "." + aut.states[static_cast<std::size_t>(col - state_base_[a])];
+    }
+  }
+  return "col" + std::to_string(col);
+}
+
+std::string VarSpace::smt_name(std::int32_t col) const {
+  for (PrimId q : queue_ids_) {
+    const ColorSet& set = typing_.of(net_.prim(q).in[0]);
+    const std::int32_t base = occ_base_[static_cast<std::size_t>(q)];
+    if (col >= base && col < base + static_cast<std::int32_t>(set.size())) {
+      return occ_var_name(net_, q, set[static_cast<std::size_t>(col - base)]);
+    }
+  }
+  for (std::size_t a = 0; a < state_base_.size(); ++a) {
+    const auto& aut = net_.automata()[a];
+    if (col >= state_base_[a] && col < state_base_[a] + aut.num_states()) {
+      return state_var_name(net_, static_cast<int>(a), col - state_base_[a]);
+    }
+  }
+  throw std::out_of_range("VarSpace::smt_name: eliminated column");
+}
+
+}  // namespace advocat::inv

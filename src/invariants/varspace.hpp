@@ -1,0 +1,54 @@
+// Column space of the flow matrix.
+//
+// Four variable families, laid out in one dense column index space:
+//   λ(c,d)   transfer counters per (channel, color)      — eliminated
+//   κ(A,t)   firing counters per (automaton, transition) — eliminated
+//   #q.d     occupancy per (queue, color)                — kept
+//   A.s      state indicator per (automaton, state)      — kept
+// The eliminated families come first so `is_eliminated` is one comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xmas/network.hpp"
+#include "xmas/typing.hpp"
+
+namespace advocat::inv {
+
+class VarSpace {
+ public:
+  VarSpace(const xmas::Network& net, const xmas::Typing& typing);
+
+  [[nodiscard]] std::int32_t lambda(xmas::ChanId c, xmas::ColorId d) const;
+  [[nodiscard]] std::int32_t kappa(int automaton_index, int transition) const;
+  [[nodiscard]] std::int32_t occ(xmas::PrimId queue, xmas::ColorId d) const;
+  [[nodiscard]] std::int32_t state(int automaton_index, int s) const;
+
+  [[nodiscard]] bool is_eliminated(std::int32_t col) const {
+    return col < first_kept_;
+  }
+  [[nodiscard]] std::int32_t num_cols() const { return num_cols_; }
+  [[nodiscard]] std::int32_t num_kept() const { return num_cols_ - first_kept_; }
+
+  /// Paper-style rendering: "lam[q0.out:req]", "kap[S.t0]", "#q0.req",
+  /// "S.s0".
+  [[nodiscard]] std::string name(std::int32_t col) const;
+  /// SMT variable name for kept columns (matches deadlock/varnames.hpp).
+  [[nodiscard]] std::string smt_name(std::int32_t col) const;
+
+ private:
+  const xmas::Network& net_;
+  const xmas::Typing& typing_;
+
+  std::vector<std::int32_t> lambda_base_;  // per channel
+  std::vector<std::int32_t> kappa_base_;   // per automaton
+  std::vector<std::int32_t> occ_base_;     // per prim (queues only, else -1)
+  std::vector<std::int32_t> state_base_;   // per automaton
+  std::vector<xmas::PrimId> queue_ids_;    // queues in occ layout order
+  std::int32_t first_kept_ = 0;
+  std::int32_t num_cols_ = 0;
+};
+
+}  // namespace advocat::inv

@@ -1,0 +1,179 @@
+#include "linalg/eliminator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace advocat::linalg {
+
+namespace {
+
+// Index from column to the rows that (possibly) contain it. Entries go
+// stale when elimination removes a column from a row; readers re-check.
+using ColIndex = std::unordered_map<std::int32_t, std::vector<std::size_t>>;
+
+void register_row(ColIndex& index, const SparseRow& row, std::size_t row_idx,
+                  const std::function<bool(std::int32_t)>& is_eliminated) {
+  for (const auto& e : row.entries()) {
+    if (is_eliminated(e.col)) index[e.col].push_back(row_idx);
+  }
+}
+
+}  // namespace
+
+EliminationResult Eliminator::eliminate(
+    std::vector<SparseRow> rows,
+    const std::function<bool(std::int32_t)>& is_eliminated,
+    bool derive_inequalities) {
+  EliminationResult result;
+
+  std::vector<bool> active(rows.size(), true);
+  ColIndex col_rows;
+  std::unordered_set<std::int32_t> pending_cols;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    register_row(col_rows, rows[r], r, is_eliminated);
+  }
+  for (const auto& [col, _] : col_rows) pending_cols.insert(col);
+
+  std::vector<std::size_t> pivot_rows;
+
+  while (!pending_cols.empty()) {
+    // Pick the pending column with the fewest live rows (min-degree).
+    std::int32_t best_col = -1;
+    std::size_t best_degree = std::numeric_limits<std::size_t>::max();
+    for (std::int32_t col : pending_cols) {
+      auto it = col_rows.find(col);
+      std::size_t degree = 0;
+      if (it != col_rows.end()) {
+        auto& vec = it->second;
+        vec.erase(std::remove_if(vec.begin(), vec.end(),
+                                 [&](std::size_t r) {
+                                   return !active[r] ||
+                                          rows[r].coeff(col).is_zero();
+                                 }),
+                  vec.end());
+        degree = vec.size();
+      }
+      if (degree < best_degree) {
+        best_degree = degree;
+        best_col = col;
+        if (degree <= 1) break;
+      }
+    }
+    if (best_degree == 0) {
+      pending_cols.erase(best_col);
+      continue;
+    }
+
+    // Pivot on the sparsest row containing the column.
+    auto& candidates = col_rows[best_col];
+    std::size_t pivot = candidates.front();
+    for (std::size_t r : candidates) {
+      if (rows[r].entries().size() < rows[pivot].entries().size()) pivot = r;
+    }
+    const Rational pivot_coeff = rows[pivot].coeff(best_col);
+    for (std::size_t r : candidates) {
+      if (r == pivot) continue;
+      const Rational c = rows[r].coeff(best_col);
+      if (c.is_zero()) continue;
+      rows[r].add_scaled(rows[pivot], -(c / pivot_coeff));
+      register_row(col_rows, rows[r], r, is_eliminated);
+    }
+    active[pivot] = false;
+    pivot_rows.push_back(pivot);
+    pending_cols.erase(best_col);
+    ++result.pivot_count;
+  }
+
+  // Surviving active rows mention keep columns only.
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (!active[r] || rows[r].empty()) continue;
+    if (!rows[r].has_variables()) {
+      // constant = 0 with nonzero constant: inconsistent input.
+      result.inconsistent = true;
+      continue;
+    }
+    result.equalities.push_back(std::move(rows[r]));
+  }
+  if (!reduce_rref(result.equalities)) result.inconsistent = true;
+  for (auto& row : result.equalities) row.normalize_integer();
+  std::sort(result.equalities.begin(), result.equalities.end(),
+            [](const SparseRow& a, const SparseRow& b) {
+              return a.min_col() < b.min_col();
+            });
+
+  if (derive_inequalities) {
+    for (std::size_t r : pivot_rows) {
+      const SparseRow& row = rows[r];
+      int sign = 0;  // common sign of eliminated coefficients
+      bool uniform = true;
+      SparseRow keep_part;
+      for (const auto& e : row.entries()) {
+        if (is_eliminated(e.col)) {
+          const int s = e.coeff.is_negative() ? -1 : 1;
+          if (sign == 0) sign = s;
+          else if (sign != s) { uniform = false; break; }
+        } else {
+          keep_part.add(e.col, e.coeff);
+        }
+      }
+      if (!uniform || sign == 0) continue;
+      keep_part.add_constant(row.constant());
+      if (keep_part.empty() || !keep_part.has_variables()) continue;
+      // Σ a·e + keep = 0 with a·sign > 0 and e ≥ 0  ⇒  sign·keep ≤ 0.
+      if (sign < 0) keep_part.scale(Rational(-1));
+      keep_part.make_integral();
+      result.inequalities.push_back(std::move(keep_part));
+    }
+    std::sort(result.inequalities.begin(), result.inequalities.end(),
+              [](const SparseRow& a, const SparseRow& b) {
+                return a.min_col() < b.min_col();
+              });
+    result.inequalities.erase(
+        std::unique(result.inequalities.begin(), result.inequalities.end()),
+        result.inequalities.end());
+  }
+  return result;
+}
+
+bool Eliminator::reduce_rref(std::vector<SparseRow>& rows) {
+  bool consistent = true;
+  std::vector<SparseRow> done;
+  std::vector<SparseRow> todo = std::move(rows);
+  while (!todo.empty()) {
+    // Pick the row whose leading column is smallest.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < todo.size(); ++i) {
+      if (todo[i].min_col() != -1 &&
+          (todo[best].min_col() == -1 ||
+           todo[i].min_col() < todo[best].min_col())) {
+        best = i;
+      }
+    }
+    SparseRow pivot = std::move(todo[best]);
+    todo.erase(todo.begin() + static_cast<std::ptrdiff_t>(best));
+    if (!pivot.has_variables()) {
+      if (!pivot.constant().is_zero()) consistent = false;
+      continue;
+    }
+    const std::int32_t col = pivot.min_col();
+    pivot.scale(pivot.coeff(col).reciprocal());
+    for (auto& row : todo) {
+      const Rational c = row.coeff(col);
+      if (!c.is_zero()) row.add_scaled(pivot, -c);
+    }
+    for (auto& row : done) {
+      const Rational c = row.coeff(col);
+      if (!c.is_zero()) row.add_scaled(pivot, -c);
+    }
+    done.push_back(std::move(pivot));
+  }
+  done.erase(std::remove_if(done.begin(), done.end(),
+                            [](const SparseRow& r) { return r.empty(); }),
+             done.end());
+  rows = std::move(done);
+  return consistent;
+}
+
+}  // namespace advocat::linalg

@@ -1,0 +1,74 @@
+#include "sim/explorer.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "util/stopwatch.hpp"
+
+namespace advocat::sim {
+
+namespace {
+
+struct NodeInfo {
+  // Predecessor state (by value; states are small) and the event label that
+  // reached this node. Empty label marks the initial state.
+  State pred;
+  std::string label;
+};
+
+}  // namespace
+
+ExploreResult explore(const Simulator& sim, const ExploreOptions& options) {
+  util::Stopwatch watch;
+  ExploreResult result;
+
+  std::unordered_map<State, NodeInfo, StateHash> visited;
+  std::deque<State> frontier;
+
+  const State init = sim.initial();
+  visited.emplace(init, NodeInfo{});
+  frontier.push_back(init);
+
+  while (!frontier.empty()) {
+    if (visited.size() > options.max_states) {
+      result.states_visited = visited.size();
+      result.seconds = watch.seconds();
+      return result;  // budget exhausted; complete stays false
+    }
+    State cur = std::move(frontier.front());
+    frontier.pop_front();
+
+    std::vector<Event> events = sim.events(cur);
+    result.events_fired += events.size();
+    if (events.empty() && sim.quiescence_is_deadlock(cur)) {
+      result.deadlock = cur;
+      // Reconstruct the trace by walking predecessors.
+      std::vector<std::string> rev;
+      State walk = cur;
+      while (true) {
+        const NodeInfo& info = visited.at(walk);
+        if (info.label.empty()) break;
+        rev.push_back(info.label);
+        walk = info.pred;
+      }
+      result.trace.assign(rev.rbegin(), rev.rend());
+      if (options.stop_at_deadlock) {
+        result.states_visited = visited.size();
+        result.seconds = watch.seconds();
+        return result;
+      }
+    }
+    for (Event& e : events) {
+      if (visited.contains(e.next)) continue;
+      visited.emplace(e.next, NodeInfo{cur, e.label});
+      frontier.push_back(std::move(e.next));
+    }
+  }
+
+  result.states_visited = visited.size();
+  result.complete = true;
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace advocat::sim

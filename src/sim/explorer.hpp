@@ -1,0 +1,37 @@
+// Breadth-first reachability over the simulator's event semantics.
+//
+// Used to (a) confirm that a deadlock candidate reported by the SMT layer
+// is actually reachable (the role UPPAAL plays in the paper) and (b) act as
+// the explicit-state baseline in the benchmark suite.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace advocat::sim {
+
+struct ExploreResult {
+  std::size_t states_visited = 0;
+  std::size_t events_fired = 0;
+  /// First total-deadlock state found, if any.
+  std::optional<State> deadlock;
+  /// Event labels from the initial state to `deadlock`.
+  std::vector<std::string> trace;
+  /// True when the whole reachable space fit within the state budget.
+  bool complete = false;
+  double seconds = 0.0;
+};
+
+struct ExploreOptions {
+  std::size_t max_states = 1'000'000;
+  /// Stop as soon as one deadlock state is found.
+  bool stop_at_deadlock = true;
+};
+
+ExploreResult explore(const Simulator& sim, const ExploreOptions& options = {});
+
+}  // namespace advocat::sim

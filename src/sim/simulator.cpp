@@ -1,0 +1,303 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace advocat::sim {
+
+using xmas::ChanId;
+using xmas::ColorId;
+using xmas::PrimId;
+using xmas::PrimKind;
+using xmas::Primitive;
+
+std::size_t StateHash::operator()(const State& s) const {
+  std::size_t h = 0x9e3779b97f4a7c15ull;
+  for (const auto& q : s.queues) {
+    h = h * 1099511628211ull + q.size();
+    for (ColorId c : q) h = h * 131 + static_cast<std::size_t>(c + 1);
+  }
+  for (int a : s.aut_states) h = h * 1099511628211ull + static_cast<std::size_t>(a + 1);
+  return h;
+}
+
+Simulator::Simulator(const xmas::Network& net) : net_(net) {
+  for (PrimId s : net.prims_of_kind(PrimKind::Source)) {
+    has_fair_source_ |= net.prim(s).fair;
+  }
+  queue_ordinal_.assign(net.num_prims(), -1);
+  for (PrimId q : net.prims_of_kind(PrimKind::Queue)) {
+    queue_ordinal_[static_cast<std::size_t>(q)] = static_cast<int>(queue_ids_.size());
+    queue_ids_.push_back(q);
+  }
+}
+
+State Simulator::initial() const {
+  State s;
+  s.queues.resize(queue_ids_.size());
+  for (const auto& a : net_.automata()) s.aut_states.push_back(a.initial);
+  return s;
+}
+
+Simulator::Effects Simulator::merge_effects(const Effects& a, const Effects& b) {
+  Effects out = a;
+  out.pops.insert(out.pops.end(), b.pops.begin(), b.pops.end());
+  out.pushes.insert(out.pushes.end(), b.pushes.begin(), b.pushes.end());
+  out.moves.insert(out.moves.end(), b.moves.begin(), b.moves.end());
+  return out;
+}
+
+std::vector<Simulator::Effects> Simulator::accepts(ChanId c, ColorId d,
+                                                   const State& s,
+                                                   int depth) const {
+  if (depth > kMaxDepth) return {};
+  const xmas::Channel& ch = net_.channel(c);
+  const Primitive& p = net_.prim(ch.target);
+  const int port = ch.tgt_port;
+  switch (p.kind) {
+    case PrimKind::Queue: {
+      const int q = queue_ordinal(ch.target);
+      if (s.queues[static_cast<std::size_t>(q)].size() >= p.capacity) return {};
+      Effects e;
+      e.pushes.emplace_back(q, d);
+      return {e};
+    }
+    case PrimKind::Sink:
+      if (!p.fair) return {};
+      return {Effects{}};
+    case PrimKind::Function:
+      return accepts(p.out[0], p.func(d), s, depth + 1);
+    case PrimKind::Switch: {
+      const int out = p.route(d);
+      if (out < 0 || static_cast<std::size_t>(out) >= p.out.size()) return {};
+      return accepts(p.out[static_cast<std::size_t>(out)], d, s, depth + 1);
+    }
+    case PrimKind::Merge:
+      return accepts(p.out[0], d, s, depth + 1);
+    case PrimKind::Fork: {
+      std::vector<Effects> result;
+      for (const Effects& a : accepts(p.out[0], d, s, depth + 1)) {
+        for (const Effects& b : accepts(p.out[1], d, s, depth + 1)) {
+          result.push_back(merge_effects(a, b));
+        }
+      }
+      return result;
+    }
+    case PrimKind::Join: {
+      // A join fires when both inputs transfer; the packet on the data
+      // input (port 0) is copied to the output.
+      std::vector<Effects> result;
+      if (port == 0) {
+        for (const Offer& tok : offers(p.in[1], s, depth + 1)) {
+          for (const Effects& out : accepts(p.out[0], d, s, depth + 1)) {
+            result.push_back(merge_effects(tok.effects, out));
+          }
+        }
+      } else {
+        for (const Offer& data : offers(p.in[0], s, depth + 1)) {
+          for (const Effects& out : accepts(p.out[0], data.color, s, depth + 1)) {
+            result.push_back(merge_effects(data.effects, out));
+          }
+        }
+      }
+      return result;
+    }
+    case PrimKind::Automaton: {
+      const xmas::Automaton& a = net_.automaton_of(p);
+      const int cur = s.aut_states[static_cast<std::size_t>(p.automaton)];
+      std::vector<Effects> result;
+      for (const auto& t : a.transitions) {
+        if (t.from != cur || !t.guard(port, d)) continue;
+        Effects base;
+        base.moves.emplace_back(p.automaton, t.to);
+        auto em = t.transform(port, d);
+        if (!em.has_value()) {
+          result.push_back(base);
+          continue;
+        }
+        const ChanId out = p.out.at(static_cast<std::size_t>(em->first));
+        for (const Effects& acc : accepts(out, em->second, s, depth + 1)) {
+          result.push_back(merge_effects(base, acc));
+        }
+      }
+      return result;
+    }
+    case PrimKind::Source:
+      break;
+  }
+  return {};
+}
+
+std::vector<Simulator::Offer> Simulator::offers(ChanId c, const State& s,
+                                                int depth) const {
+  if (depth > kMaxDepth) return {};
+  const xmas::Channel& ch = net_.channel(c);
+  const Primitive& p = net_.prim(ch.initiator);
+  const int port = ch.init_port;
+  switch (p.kind) {
+    case PrimKind::Source: {
+      std::vector<Offer> result;
+      if (p.fair) {
+        for (ColorId d : p.source_colors) result.push_back({d, {}});
+      }
+      return result;
+    }
+    case PrimKind::Queue: {
+      const int q = queue_ordinal(ch.initiator);
+      const auto& content = s.queues[static_cast<std::size_t>(q)];
+      if (content.empty()) return {};
+      std::vector<Offer> result;
+      if (p.fifo) {
+        Effects e;
+        e.pops.emplace_back(q, 0);
+        result.push_back({content.front(), e});
+      } else {
+        // Bag: any stored packet can be consumed (first occurrence of each
+        // distinct color; identical colors are interchangeable).
+        std::vector<ColorId> seen;
+        for (std::size_t i = 0; i < content.size(); ++i) {
+          if (std::find(seen.begin(), seen.end(), content[i]) != seen.end())
+            continue;
+          seen.push_back(content[i]);
+          Effects e;
+          e.pops.emplace_back(q, static_cast<int>(i));
+          result.push_back({content[i], e});
+        }
+      }
+      return result;
+    }
+    case PrimKind::Function: {
+      std::vector<Offer> result;
+      for (const Offer& o : offers(p.in[0], s, depth + 1)) {
+        result.push_back({p.func(o.color), o.effects});
+      }
+      return result;
+    }
+    case PrimKind::Switch: {
+      std::vector<Offer> result;
+      for (const Offer& o : offers(p.in[0], s, depth + 1)) {
+        if (p.route(o.color) == port) result.push_back(o);
+      }
+      return result;
+    }
+    case PrimKind::Merge: {
+      std::vector<Offer> result;
+      for (ChanId in : p.in) {
+        for (const Offer& o : offers(in, s, depth + 1)) result.push_back(o);
+      }
+      return result;
+    }
+    case PrimKind::Fork: {
+      // Offering on one output requires the other output to accept the same
+      // packet simultaneously.
+      const ChanId other = p.out[port == 0 ? 1 : 0];
+      std::vector<Offer> result;
+      for (const Offer& o : offers(p.in[0], s, depth + 1)) {
+        for (const Effects& acc : accepts(other, o.color, s, depth + 1)) {
+          result.push_back({o.color, merge_effects(o.effects, acc)});
+        }
+      }
+      return result;
+    }
+    case PrimKind::Join: {
+      std::vector<Offer> result;
+      for (const Offer& data : offers(p.in[0], s, depth + 1)) {
+        for (const Offer& tok : offers(p.in[1], s, depth + 1)) {
+          result.push_back({data.color, merge_effects(data.effects, tok.effects)});
+        }
+      }
+      return result;
+    }
+    case PrimKind::Automaton:
+      // Automata only emit while consuming; their emissions are enumerated
+      // through accepts() on the consumed input, never as standalone offers.
+      return {};
+    case PrimKind::Sink:
+      break;
+  }
+  return {};
+}
+
+std::optional<State> Simulator::apply(const State& s, const Effects& e) const {
+  State next = s;
+  // At most one transition per automaton per event.
+  for (std::size_t i = 0; i < e.moves.size(); ++i) {
+    for (std::size_t j = i + 1; j < e.moves.size(); ++j) {
+      if (e.moves[i].first == e.moves[j].first) return std::nullopt;
+    }
+  }
+  // Pops against pre-event positions: apply per queue in descending
+  // position order so earlier removals do not shift later ones.
+  std::vector<std::pair<int, int>> pops = e.pops;
+  std::sort(pops.begin(), pops.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first < b.first : a.second > b.second;
+  });
+  for (std::size_t i = 1; i < pops.size(); ++i) {
+    if (pops[i] == pops[i - 1]) return std::nullopt;  // same slot twice
+  }
+  for (const auto& [q, pos] : pops) {
+    auto& content = next.queues[static_cast<std::size_t>(q)];
+    if (pos < 0 || static_cast<std::size_t>(pos) >= content.size()) return std::nullopt;
+    content.erase(content.begin() + pos);
+  }
+  for (const auto& [q, color] : e.pushes) {
+    auto& content = next.queues[static_cast<std::size_t>(q)];
+    const auto cap = net_.prim(queue_ids_[static_cast<std::size_t>(q)]).capacity;
+    if (content.size() >= cap) return std::nullopt;
+    content.push_back(color);
+  }
+  for (const auto& [a, to] : e.moves) {
+    next.aut_states[static_cast<std::size_t>(a)] = to;
+  }
+  return next;
+}
+
+std::vector<Event> Simulator::events(const State& s) const {
+  std::vector<Event> result;
+  auto emit = [&](const std::string& label, const Effects& eff) {
+    if (auto next = apply(s, eff)) {
+      result.push_back({label, std::move(*next)});
+    }
+  };
+  // Initiation points are the storage producers: sources and queues.
+  for (PrimId sid : net_.prims_of_kind(PrimKind::Source)) {
+    const Primitive& src = net_.prim(sid);
+    if (!src.fair) continue;
+    for (ColorId d : src.source_colors) {
+      for (const Effects& acc : accepts(src.out[0], d, s, 0)) {
+        emit(src.name + "!" + net_.colors().name(d), acc);
+      }
+    }
+  }
+  for (std::size_t qi = 0; qi < queue_ids_.size(); ++qi) {
+    const Primitive& q = net_.prim(queue_ids_[qi]);
+    for (const Offer& o : offers(q.out[0], s, 0)) {
+      for (const Effects& acc : accepts(q.out[0], o.color, s, 0)) {
+        emit(q.name + ">" + net_.colors().name(o.color),
+             merge_effects(o.effects, acc));
+      }
+    }
+  }
+  return result;
+}
+
+std::string Simulator::describe(const State& s) const {
+  std::ostringstream os;
+  for (std::size_t qi = 0; qi < queue_ids_.size(); ++qi) {
+    const auto& content = s.queues[qi];
+    if (content.empty()) continue;
+    os << net_.prim(queue_ids_[qi]).name << ": [";
+    for (std::size_t i = 0; i < content.size(); ++i) {
+      if (i) os << ", ";
+      os << net_.colors().name(content[i]);
+    }
+    os << "]\n";
+  }
+  for (std::size_t ai = 0; ai < net_.automata().size(); ++ai) {
+    const auto& a = net_.automata()[ai];
+    os << a.name << ": " << a.states[static_cast<std::size_t>(s.aut_states[ai])] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace advocat::sim

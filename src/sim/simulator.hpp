@@ -1,0 +1,109 @@
+// Executable semantics for xMAS networks with IO automata.
+//
+// The simulator enumerates *transfer events*: the minimal sets of
+// simultaneous channel transfers implied by the combinational primitives
+// (a fork transfers with both outputs, a join with both inputs, an
+// automaton transition consumes and emits atomically). One event moves the
+// state; interleaving events over-approximates the synchronous semantics
+// for reachability of quiescent states, which is what the deadlock
+// confirmation needs (this plays the role UPPAAL plays in the paper).
+//
+// Storage lives only in queues and automata: a state is the queue contents
+// plus the automaton states. Sources inject nondeterministically; merges
+// arbitrate by which event is chosen; bag queues (fifo == false) offer any
+// stored packet, modelling the paper's stall-and-requeue consumption.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xmas/network.hpp"
+
+namespace advocat::sim {
+
+struct State {
+  /// Per queue (in Network queue order): stored colors, front first.
+  std::vector<std::vector<xmas::ColorId>> queues;
+  /// Per automaton: current state index.
+  std::vector<int> aut_states;
+
+  bool operator==(const State&) const = default;
+};
+
+struct StateHash {
+  std::size_t operator()(const State& s) const;
+};
+
+struct Event {
+  std::string label;
+  State next;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const xmas::Network& net);
+
+  [[nodiscard]] State initial() const;
+  /// All one-event successors (may contain duplicate states).
+  [[nodiscard]] std::vector<Event> events(const State& s) const;
+  /// A quiescent state (no events) counts as a deadlock only when
+  /// something wants to move: a fair source exists (it always eventually
+  /// wants to inject and is permanently refused) or a packet is stranded
+  /// in a queue. Dead-source networks that simply ran dry are quiescent,
+  /// not deadlocked — matching the SMT deadlock condition.
+  [[nodiscard]] bool quiescence_is_deadlock(const State& s) const {
+    if (has_fair_source_) return true;
+    for (const auto& q : s.queues) {
+      if (!q.empty()) return true;
+    }
+    return false;
+  }
+  /// True iff no transfer event is possible and the state counts as a
+  /// deadlock (see quiescence_is_deadlock).
+  [[nodiscard]] bool is_deadlock(const State& s) const {
+    return events(s).empty() && quiescence_is_deadlock(s);
+  }
+
+  [[nodiscard]] std::string describe(const State& s) const;
+
+  [[nodiscard]] const xmas::Network& net() const { return net_; }
+
+ private:
+  struct Effects {
+    // (queue ordinal, position) removals; positions refer to the
+    // pre-event state.
+    std::vector<std::pair<int, int>> pops;
+    std::vector<std::pair<int, xmas::ColorId>> pushes;  // (queue ordinal, color)
+    std::vector<std::pair<int, int>> moves;  // (automaton index, target state)
+  };
+  struct Offer {
+    xmas::ColorId color;
+    Effects effects;
+  };
+
+  /// Ways the target side of channel `c` can absorb a packet of color `d`.
+  [[nodiscard]] std::vector<Effects> accepts(xmas::ChanId c, xmas::ColorId d,
+                                             const State& s, int depth) const;
+  /// Packets the initiator side of channel `c` can present right now.
+  [[nodiscard]] std::vector<Offer> offers(xmas::ChanId c, const State& s,
+                                          int depth) const;
+  /// Applies effects; nullopt when jointly infeasible (capacity, conflicts).
+  [[nodiscard]] std::optional<State> apply(const State& s,
+                                           const Effects& e) const;
+
+  static Effects merge_effects(const Effects& a, const Effects& b);
+
+  [[nodiscard]] int queue_ordinal(xmas::PrimId p) const {
+    return queue_ordinal_.at(static_cast<std::size_t>(p));
+  }
+
+  const xmas::Network& net_;
+  bool has_fair_source_ = false;
+  std::vector<int> queue_ordinal_;       // PrimId -> dense queue index (-1)
+  std::vector<xmas::PrimId> queue_ids_;  // dense queue index -> PrimId
+  static constexpr int kMaxDepth = 64;
+};
+
+}  // namespace advocat::sim

@@ -1,0 +1,21 @@
+// Reference evaluator for expressions under a model.
+//
+// Used to decode witnesses (which deadlock disjunct fired) and by tests to
+// cross-check encodings without trusting the solver.
+#pragma once
+
+#include <cstdint>
+
+#include "smt/expr.hpp"
+#include "smt/solver.hpp"
+
+namespace advocat::smt {
+
+/// Evaluates a boolean expression; throws std::logic_error on sort mismatch.
+[[nodiscard]] bool eval_bool(const ExprFactory& f, const Model& m, ExprId e);
+
+/// Evaluates an integer expression.
+[[nodiscard]] std::int64_t eval_int(const ExprFactory& f, const Model& m,
+                                    ExprId e);
+
+}  // namespace advocat::smt

@@ -1,0 +1,218 @@
+#include "smt/expr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace advocat::smt {
+
+namespace {
+
+std::uint64_t hash_node(const Node& n) {
+  std::uint64_t h = static_cast<std::uint64_t>(n.op) * 0x9e3779b97f4a7c15ull;
+  h ^= static_cast<std::uint64_t>(n.value) + (h << 6) + (h >> 2);
+  for (char c : n.name) h = h * 131 + static_cast<unsigned char>(c);
+  for (ExprId k : n.kids) h = h * 1099511628211ull + static_cast<std::uint64_t>(k);
+  return h;
+}
+
+bool same_node(const Node& a, const Node& b) {
+  return a.op == b.op && a.value == b.value && a.name == b.name &&
+         a.kids == b.kids;
+}
+
+}  // namespace
+
+ExprId ExprFactory::intern(Node n) {
+  const std::uint64_t h = hash_node(n);
+  for (ExprId id : hash_index_[h]) {
+    if (same_node(nodes_[static_cast<std::size_t>(id)], n)) return id;
+  }
+  const ExprId id = static_cast<ExprId>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  hash_index_[h].push_back(id);
+  return id;
+}
+
+ExprId ExprFactory::bool_const(bool v) {
+  return intern(Node{Op::BoolConst, v ? 1 : 0, {}, {}});
+}
+
+ExprId ExprFactory::int_const(std::int64_t v) {
+  return intern(Node{Op::IntConst, v, {}, {}});
+}
+
+ExprId ExprFactory::bool_var(const std::string& name) {
+  auto it = var_index_.find(name);
+  if (it != var_index_.end()) {
+    if (nodes_[static_cast<std::size_t>(it->second)].op != Op::BoolVar)
+      throw std::logic_error("variable redeclared with other sort: " + name);
+    return it->second;
+  }
+  const ExprId id = intern(Node{Op::BoolVar, 0, name, {}});
+  var_index_.emplace(name, id);
+  vars_.emplace_back(name, true);
+  return id;
+}
+
+ExprId ExprFactory::int_var(const std::string& name) {
+  auto it = var_index_.find(name);
+  if (it != var_index_.end()) {
+    if (nodes_[static_cast<std::size_t>(it->second)].op != Op::IntVar)
+      throw std::logic_error("variable redeclared with other sort: " + name);
+    return it->second;
+  }
+  const ExprId id = intern(Node{Op::IntVar, 0, name, {}});
+  var_index_.emplace(name, id);
+  vars_.emplace_back(name, false);
+  return id;
+}
+
+ExprId ExprFactory::and_(std::vector<ExprId> kids) {
+  std::vector<ExprId> flat;
+  for (ExprId k : kids) {
+    const Node& n = node(k);
+    if (n.op == Op::BoolConst) {
+      if (n.value == 0) return bool_const(false);
+      continue;  // drop true
+    }
+    if (n.op == Op::And) {
+      flat.insert(flat.end(), n.kids.begin(), n.kids.end());
+    } else {
+      flat.push_back(k);
+    }
+  }
+  std::sort(flat.begin(), flat.end());
+  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+  if (flat.empty()) return bool_const(true);
+  if (flat.size() == 1) return flat[0];
+  return intern(Node{Op::And, 0, {}, std::move(flat)});
+}
+
+ExprId ExprFactory::or_(std::vector<ExprId> kids) {
+  std::vector<ExprId> flat;
+  for (ExprId k : kids) {
+    const Node& n = node(k);
+    if (n.op == Op::BoolConst) {
+      if (n.value == 1) return bool_const(true);
+      continue;  // drop false
+    }
+    if (n.op == Op::Or) {
+      flat.insert(flat.end(), n.kids.begin(), n.kids.end());
+    } else {
+      flat.push_back(k);
+    }
+  }
+  std::sort(flat.begin(), flat.end());
+  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+  if (flat.empty()) return bool_const(false);
+  if (flat.size() == 1) return flat[0];
+  return intern(Node{Op::Or, 0, {}, std::move(flat)});
+}
+
+ExprId ExprFactory::not_(ExprId e) {
+  const Node& n = node(e);
+  if (n.op == Op::BoolConst) return bool_const(n.value == 0);
+  if (n.op == Op::Not) return n.kids[0];
+  return intern(Node{Op::Not, 0, {}, {e}});
+}
+
+ExprId ExprFactory::implies(ExprId a, ExprId b) {
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  if (na.op == Op::BoolConst) return na.value ? b : bool_const(true);
+  if (nb.op == Op::BoolConst && nb.value == 1) return bool_const(true);
+  if (nb.op == Op::BoolConst && nb.value == 0) return not_(a);
+  return intern(Node{Op::Implies, 0, {}, {a, b}});
+}
+
+ExprId ExprFactory::iff(ExprId a, ExprId b) {
+  if (a == b) return bool_const(true);
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  if (na.op == Op::BoolConst) return na.value ? b : not_(b);
+  if (nb.op == Op::BoolConst) return nb.value ? a : not_(a);
+  if (a > b) std::swap(a, b);
+  return intern(Node{Op::Iff, 0, {}, {a, b}});
+}
+
+ExprId ExprFactory::eq(ExprId a, ExprId b) {
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  if (na.op == Op::IntConst && nb.op == Op::IntConst)
+    return bool_const(na.value == nb.value);
+  if (a == b) return bool_const(true);
+  if (a > b) std::swap(a, b);
+  return intern(Node{Op::Eq, 0, {}, {a, b}});
+}
+
+ExprId ExprFactory::le(ExprId a, ExprId b) {
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  if (na.op == Op::IntConst && nb.op == Op::IntConst)
+    return bool_const(na.value <= nb.value);
+  if (a == b) return bool_const(true);
+  return intern(Node{Op::Le, 0, {}, {a, b}});
+}
+
+ExprId ExprFactory::add(std::vector<ExprId> kids) {
+  std::vector<ExprId> flat;
+  std::int64_t acc = 0;
+  for (ExprId k : kids) {
+    const Node& n = node(k);
+    if (n.op == Op::IntConst) {
+      acc += n.value;
+    } else if (n.op == Op::Add) {
+      for (ExprId kk : n.kids) {
+        const Node& nn = node(kk);
+        if (nn.op == Op::IntConst) acc += nn.value;
+        else flat.push_back(kk);
+      }
+    } else {
+      flat.push_back(k);
+    }
+  }
+  if (acc != 0 || flat.empty()) flat.push_back(int_const(acc));
+  if (flat.size() == 1) return flat[0];
+  std::sort(flat.begin(), flat.end());
+  return intern(Node{Op::Add, 0, {}, std::move(flat)});
+}
+
+ExprId ExprFactory::mul_const(std::int64_t c, ExprId e) {
+  if (c == 0) return int_const(0);
+  if (c == 1) return e;
+  const Node& n = node(e);
+  if (n.op == Op::IntConst) return int_const(c * n.value);
+  if (n.op == Op::MulConst) return mul_const(c * n.value, n.kids[0]);
+  return intern(Node{Op::MulConst, c, {}, {e}});
+}
+
+std::string ExprFactory::to_string(ExprId id) const {
+  const Node& n = node(id);
+  auto join_kids = [&](const char* sep) {
+    std::string out;
+    for (std::size_t i = 0; i < n.kids.size(); ++i) {
+      if (i) out += sep;
+      out += to_string(n.kids[i]);
+    }
+    return out;
+  };
+  switch (n.op) {
+    case Op::BoolConst: return n.value ? "true" : "false";
+    case Op::IntConst: return std::to_string(n.value);
+    case Op::BoolVar:
+    case Op::IntVar: return n.name;
+    case Op::And: return "(" + join_kids(" & ") + ")";
+    case Op::Or: return "(" + join_kids(" | ") + ")";
+    case Op::Not: return "!" + to_string(n.kids[0]);
+    case Op::Implies: return "(" + join_kids(" -> ") + ")";
+    case Op::Iff: return "(" + join_kids(" <-> ") + ")";
+    case Op::Eq: return "(" + join_kids(" = ") + ")";
+    case Op::Le: return "(" + join_kids(" <= ") + ")";
+    case Op::Add: return "(" + join_kids(" + ") + ")";
+    case Op::MulConst:
+      return std::to_string(n.value) + "*" + to_string(n.kids[0]);
+  }
+  return "?";
+}
+
+}  // namespace advocat::smt

@@ -1,0 +1,83 @@
+// Hash-consed expression AST for the SMT encodings.
+//
+// The deadlock detector builds boolean combinations of linear integer
+// constraints. We keep our own small AST instead of building Z3 terms
+// directly so that (a) encodings can be unit-tested and printed as SMT-LIB2
+// without a solver, and (b) the solver backend stays swappable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace advocat::smt {
+
+using ExprId = std::int32_t;
+inline constexpr ExprId kNoExpr = -1;
+
+enum class Op : std::uint8_t {
+  BoolConst,  // value: 0/1
+  IntConst,   // value
+  BoolVar,    // name
+  IntVar,     // name
+  And,        // kids...
+  Or,         // kids...
+  Not,        // kid
+  Implies,    // kid0 -> kid1
+  Eq,         // kid0 == kid1 (int)
+  Le,         // kid0 <= kid1 (int)
+  Add,        // sum of kids
+  MulConst,   // value * kid0
+  Iff,        // kid0 <-> kid1 (bool)
+};
+
+struct Node {
+  Op op;
+  std::int64_t value = 0;
+  std::string name;           // variables only
+  std::vector<ExprId> kids;
+};
+
+/// Arena of hash-consed nodes. All ExprIds are relative to one factory.
+class ExprFactory {
+ public:
+  ExprId bool_const(bool v);
+  ExprId int_const(std::int64_t v);
+  ExprId bool_var(const std::string& name);
+  ExprId int_var(const std::string& name);
+
+  /// Flattens nested Ands, drops `true`, folds to `false` on any `false`.
+  ExprId and_(std::vector<ExprId> kids);
+  /// Flattens nested Ors, drops `false`, folds to `true` on any `true`.
+  ExprId or_(std::vector<ExprId> kids);
+  ExprId not_(ExprId e);
+  ExprId implies(ExprId a, ExprId b);
+  ExprId iff(ExprId a, ExprId b);
+  ExprId eq(ExprId a, ExprId b);
+  ExprId le(ExprId a, ExprId b);
+  ExprId ge(ExprId a, ExprId b) { return le(b, a); }
+  ExprId add(std::vector<ExprId> kids);
+  ExprId mul_const(std::int64_t c, ExprId e);
+
+  [[nodiscard]] const Node& node(ExprId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// All declared variables in creation order (name, is_bool).
+  [[nodiscard]] const std::vector<std::pair<std::string, bool>>& variables() const {
+    return vars_;
+  }
+
+  /// Pretty-printer for tests and debugging (infix, not SMT-LIB).
+  [[nodiscard]] std::string to_string(ExprId id) const;
+
+ private:
+  ExprId intern(Node n);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, ExprId> var_index_;
+  std::unordered_map<std::uint64_t, std::vector<ExprId>> hash_index_;
+  std::vector<std::pair<std::string, bool>> vars_;
+};
+
+}  // namespace advocat::smt

@@ -1,0 +1,61 @@
+// Solver-facing interface.
+//
+// The default backend is Z3 (see z3_solver.hpp); to_smtlib() in
+// smtlib.hpp serializes the same assertions for external solvers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/expr.hpp"
+
+namespace advocat::smt {
+
+enum class SatResult { Sat, Unsat, Unknown };
+
+[[nodiscard]] inline const char* to_string(SatResult r) {
+  switch (r) {
+    case SatResult::Sat: return "sat";
+    case SatResult::Unsat: return "unsat";
+    case SatResult::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+/// Variable assignment extracted from a satisfiable check.
+class Model {
+ public:
+  void set_int(const std::string& name, std::int64_t v) { ints_[name] = v; }
+  void set_bool(const std::string& name, bool v) { bools_[name] = v; }
+
+  /// Returns 0 / false for variables the solver left unconstrained.
+  [[nodiscard]] std::int64_t int_value(const std::string& name) const;
+  [[nodiscard]] bool bool_value(const std::string& name) const;
+
+  [[nodiscard]] const std::unordered_map<std::string, std::int64_t>& ints() const { return ints_; }
+  [[nodiscard]] const std::unordered_map<std::string, bool>& bools() const { return bools_; }
+
+ private:
+  std::unordered_map<std::string, std::int64_t> ints_;
+  std::unordered_map<std::string, bool> bools_;
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  virtual void add(ExprId assertion) = 0;
+  /// Checks all added assertions; `timeout_ms` 0 means no limit.
+  virtual SatResult check(unsigned timeout_ms = 0) = 0;
+  /// Valid only after check() returned Sat.
+  [[nodiscard]] virtual const Model& model() const = 0;
+};
+
+/// Creates the Z3-backed solver over `factory`'s expressions. The factory
+/// must outlive the solver.
+std::unique_ptr<Solver> make_z3_solver(const ExprFactory& factory);
+
+}  // namespace advocat::smt

@@ -1,0 +1,118 @@
+// Z3 backend. The only translation unit that includes z3++.h.
+#include <z3++.h>
+
+#include <unordered_map>
+
+#include "smt/solver.hpp"
+
+namespace advocat::smt {
+
+std::int64_t Model::int_value(const std::string& name) const {
+  auto it = ints_.find(name);
+  return it == ints_.end() ? 0 : it->second;
+}
+
+bool Model::bool_value(const std::string& name) const {
+  auto it = bools_.find(name);
+  return it != bools_.end() && it->second;
+}
+
+namespace {
+
+class Z3Solver final : public Solver {
+ public:
+  explicit Z3Solver(const ExprFactory& factory)
+      : factory_(factory), solver_(ctx_) {}
+
+  void add(ExprId assertion) override { solver_.add(translate(assertion)); }
+
+  SatResult check(unsigned timeout_ms) override {
+    if (timeout_ms > 0) {
+      z3::params p(ctx_);
+      p.set("timeout", timeout_ms);
+      solver_.set(p);
+    }
+    switch (solver_.check()) {
+      case z3::sat: {
+        extract_model();
+        return SatResult::Sat;
+      }
+      case z3::unsat: return SatResult::Unsat;
+      default: return SatResult::Unknown;
+    }
+  }
+
+  [[nodiscard]] const Model& model() const override { return model_; }
+
+ private:
+  z3::expr translate(ExprId id) {
+    auto it = cache_.find(id);
+    if (it != cache_.end()) return it->second;
+    const Node& n = factory_.node(id);
+    auto kid = [&](std::size_t i) { return translate(n.kids[i]); };
+    z3::expr result(ctx_);
+    switch (n.op) {
+      case Op::BoolConst: result = ctx_.bool_val(n.value != 0); break;
+      case Op::IntConst: result = ctx_.int_val(static_cast<std::int64_t>(n.value)); break;
+      case Op::BoolVar: result = ctx_.bool_const(n.name.c_str()); break;
+      case Op::IntVar: result = ctx_.int_const(n.name.c_str()); break;
+      case Op::Not: result = !kid(0); break;
+      case Op::Implies: result = z3::implies(kid(0), kid(1)); break;
+      case Op::Iff: result = kid(0) == kid(1); break;
+      case Op::Eq: result = kid(0) == kid(1); break;
+      case Op::Le: result = kid(0) <= kid(1); break;
+      case Op::MulConst:
+        result = ctx_.int_val(static_cast<std::int64_t>(n.value)) * kid(0);
+        break;
+      case Op::And: {
+        z3::expr_vector v(ctx_);
+        for (std::size_t i = 0; i < n.kids.size(); ++i) v.push_back(kid(i));
+        result = z3::mk_and(v);
+        break;
+      }
+      case Op::Or: {
+        z3::expr_vector v(ctx_);
+        for (std::size_t i = 0; i < n.kids.size(); ++i) v.push_back(kid(i));
+        result = z3::mk_or(v);
+        break;
+      }
+      case Op::Add: {
+        z3::expr_vector v(ctx_);
+        for (std::size_t i = 0; i < n.kids.size(); ++i) v.push_back(kid(i));
+        result = z3::sum(v);
+        break;
+      }
+    }
+    cache_.emplace(id, result);
+    return result;
+  }
+
+  void extract_model() {
+    model_ = Model();
+    z3::model m = solver_.get_model();
+    for (const auto& [name, is_bool] : factory_.variables()) {
+      if (is_bool) {
+        z3::expr v = m.eval(ctx_.bool_const(name.c_str()), true);
+        model_.set_bool(name, v.is_true());
+      } else {
+        z3::expr v = m.eval(ctx_.int_const(name.c_str()), true);
+        std::int64_t value = 0;
+        if (v.is_numeral_i64(value)) model_.set_int(name, value);
+      }
+    }
+  }
+
+  const ExprFactory& factory_;
+  z3::context ctx_;
+  z3::solver solver_;
+  Model model_;
+  std::unordered_map<ExprId, z3::expr> cache_;
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> make_z3_solver(const ExprFactory& factory) {
+  return std::make_unique<Z3Solver>(factory);
+}
+
+}  // namespace advocat::smt

@@ -1,0 +1,296 @@
+#include "util/bigint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace advocat::util {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}  // namespace
+
+BigInt::BigInt(std::int64_t v) {
+  if (v == 0) return;
+  negative_ = v < 0;
+  // Avoid UB on INT64_MIN: negate in unsigned space.
+  std::uint64_t mag = negative_ ? ~static_cast<std::uint64_t>(v) + 1
+                                : static_cast<std::uint64_t>(v);
+  mag_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffu));
+  if (mag >> 32) mag_.push_back(static_cast<std::uint32_t>(mag >> 32));
+}
+
+BigInt BigInt::from_string(const std::string& s) {
+  if (s.empty()) throw std::invalid_argument("BigInt: empty string");
+  std::size_t i = 0;
+  bool neg = false;
+  if (s[0] == '-' || s[0] == '+') {
+    neg = s[0] == '-';
+    i = 1;
+    if (s.size() == 1) throw std::invalid_argument("BigInt: sign only");
+  }
+  BigInt r;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') throw std::invalid_argument("BigInt: bad digit");
+    r = r * BigInt(10) + BigInt(s[i] - '0');
+  }
+  if (neg) r = -r;
+  return r;
+}
+
+bool BigInt::is_one() const {
+  return !negative_ && mag_.size() == 1 && mag_[0] == 1;
+}
+
+bool BigInt::fits_int64() const {
+  if (mag_.size() > 2) return false;
+  if (mag_.size() < 2) return true;
+  std::uint64_t v = (static_cast<std::uint64_t>(mag_[1]) << 32) | mag_[0];
+  return negative_ ? v <= (1ull << 63) : v < (1ull << 63);
+}
+
+std::int64_t BigInt::to_int64() const {
+  if (!fits_int64()) throw std::overflow_error("BigInt::to_int64");
+  std::uint64_t v = 0;
+  if (!mag_.empty()) v = mag_[0];
+  if (mag_.size() == 2) v |= static_cast<std::uint64_t>(mag_[1]) << 32;
+  return negative_ ? -static_cast<std::int64_t>(v) : static_cast<std::int64_t>(v);
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Repeated division by 10^9 to produce decimal chunks.
+  std::vector<std::uint32_t> mag = mag_;
+  std::string out;
+  while (!mag.empty()) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = mag.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | mag[i];
+      mag[i] = static_cast<std::uint32_t>(cur / 1000000000u);
+      rem = cur % 1000000000u;
+    }
+    trim(mag);
+    std::string chunk = std::to_string(rem);
+    if (!mag.empty()) chunk.insert(0, 9 - chunk.size(), '0');
+    out.insert(0, chunk);
+  }
+  if (negative_) out.insert(0, 1, '-');
+  return out;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.negative_ = !r.negative_;
+  return r;
+}
+
+BigInt BigInt::abs() const {
+  BigInt r = *this;
+  r.negative_ = false;
+  return r;
+}
+
+int BigInt::cmp_mag(const std::vector<std::uint32_t>& a,
+                    const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+void BigInt::trim(std::vector<std::uint32_t>& mag) {
+  while (!mag.empty() && mag.back() == 0) mag.pop_back();
+}
+
+void BigInt::normalize() {
+  trim(mag_);
+  if (mag_.empty()) negative_ = false;
+}
+
+std::vector<std::uint32_t> BigInt::add_mag(const std::vector<std::uint32_t>& a,
+                                           const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> r;
+  r.reserve(std::max(a.size(), b.size()) + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    r.push_back(static_cast<std::uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry) r.push_back(static_cast<std::uint32_t>(carry));
+  return r;
+}
+
+std::vector<std::uint32_t> BigInt::sub_mag(const std::vector<std::uint32_t>& a,
+                                           const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> r;
+  r.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    r.push_back(static_cast<std::uint32_t>(diff));
+  }
+  trim(r);
+  return r;
+}
+
+std::vector<std::uint32_t> BigInt::mul_mag(const std::vector<std::uint32_t>& a,
+                                           const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint32_t> r(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = static_cast<std::uint64_t>(a[i]) * b[j] + r[i + j] + carry;
+      r[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry) {
+      std::uint64_t cur = r[k] + carry;
+      r[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  trim(r);
+  return r;
+}
+
+std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>> BigInt::divmod_mag(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (b.empty()) throw std::domain_error("BigInt: division by zero");
+  if (cmp_mag(a, b) < 0) return {{}, a};
+  if (b.size() == 1) {
+    // Fast path: single-limb divisor.
+    std::vector<std::uint32_t> q(a.size());
+    std::uint64_t rem = 0;
+    for (std::size_t i = a.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | a[i];
+      q[i] = static_cast<std::uint32_t>(cur / b[0]);
+      rem = cur % b[0];
+    }
+    trim(q);
+    std::vector<std::uint32_t> r;
+    if (rem) r.push_back(static_cast<std::uint32_t>(rem));
+    return {q, r};
+  }
+  // Schoolbook long division, bit by bit. Slow but simple; divisor sizes in
+  // the invariant engine stay small because rationals normalize by gcd.
+  std::vector<std::uint32_t> q(a.size(), 0);
+  std::vector<std::uint32_t> rem;
+  for (std::size_t bit = a.size() * 32; bit-- > 0;) {
+    // rem = rem*2 + bit(a, bit)
+    std::uint32_t carry = 0;
+    for (auto& limb : rem) {
+      std::uint32_t next = limb >> 31;
+      limb = (limb << 1) | carry;
+      carry = next;
+    }
+    if (carry) rem.push_back(carry);
+    if ((a[bit / 32] >> (bit % 32)) & 1u) {
+      if (rem.empty()) rem.push_back(1u);
+      else {
+        std::uint64_t cur = static_cast<std::uint64_t>(rem[0]) + 1;
+        rem[0] = static_cast<std::uint32_t>(cur);
+        std::size_t k = 1;
+        while (cur >> 32) {
+          if (k == rem.size()) rem.push_back(0);
+          cur = static_cast<std::uint64_t>(rem[k]) + 1;
+          rem[k] = static_cast<std::uint32_t>(cur);
+          ++k;
+        }
+      }
+    }
+    if (cmp_mag(rem, b) >= 0) {
+      rem = sub_mag(rem, b);
+      q[bit / 32] |= 1u << (bit % 32);
+    }
+  }
+  trim(q);
+  return {q, rem};
+}
+
+BigInt BigInt::operator+(const BigInt& rhs) const {
+  BigInt r;
+  if (negative_ == rhs.negative_) {
+    r.mag_ = add_mag(mag_, rhs.mag_);
+    r.negative_ = negative_;
+  } else {
+    int c = cmp_mag(mag_, rhs.mag_);
+    if (c == 0) return BigInt();
+    if (c > 0) {
+      r.mag_ = sub_mag(mag_, rhs.mag_);
+      r.negative_ = negative_;
+    } else {
+      r.mag_ = sub_mag(rhs.mag_, mag_);
+      r.negative_ = rhs.negative_;
+    }
+  }
+  r.normalize();
+  return r;
+}
+
+BigInt BigInt::operator-(const BigInt& rhs) const { return *this + (-rhs); }
+
+BigInt BigInt::operator*(const BigInt& rhs) const {
+  BigInt r;
+  r.mag_ = mul_mag(mag_, rhs.mag_);
+  r.negative_ = !r.mag_.empty() && (negative_ != rhs.negative_);
+  return r;
+}
+
+BigInt BigInt::operator/(const BigInt& rhs) const {
+  auto [q, rem] = divmod_mag(mag_, rhs.mag_);
+  BigInt r;
+  r.mag_ = std::move(q);
+  r.negative_ = !r.mag_.empty() && (negative_ != rhs.negative_);
+  return r;
+}
+
+BigInt BigInt::operator%(const BigInt& rhs) const {
+  auto [q, rem] = divmod_mag(mag_, rhs.mag_);
+  BigInt r;
+  r.mag_ = std::move(rem);
+  r.negative_ = !r.mag_.empty() && negative_;
+  return r;
+}
+
+std::strong_ordering BigInt::operator<=>(const BigInt& rhs) const {
+  if (negative_ != rhs.negative_)
+    return negative_ ? std::strong_ordering::less : std::strong_ordering::greater;
+  int c = cmp_mag(mag_, rhs.mag_);
+  if (negative_) c = -c;
+  if (c < 0) return std::strong_ordering::less;
+  if (c > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt t = a % b;
+    a = std::move(b);
+    b = std::move(t);
+  }
+  return a;
+}
+
+std::size_t BigInt::hash() const {
+  std::size_t h = negative_ ? 0x9e3779b97f4a7c15ull : 0;
+  for (std::uint32_t limb : mag_) h = h * 1099511628211ull + limb;
+  return h;
+}
+
+}  // namespace advocat::util

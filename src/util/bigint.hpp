@@ -1,0 +1,84 @@
+// Arbitrary-precision signed integers.
+//
+// Gaussian elimination over the flow matrix (src/invariants) multiplies and
+// adds rational coefficients whose numerators/denominators can outgrow any
+// fixed-width type on large meshes, so exact verification needs
+// arbitrary-precision arithmetic. The representation is sign + little-endian
+// base-2^32 magnitude; all operations are value-semantic.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+#include <vector>
+
+namespace advocat::util {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor) numeric literal convenience
+
+  /// Parses a base-10 string with optional leading '-'. Throws
+  /// std::invalid_argument on malformed input.
+  static BigInt from_string(const std::string& s);
+
+  [[nodiscard]] bool is_zero() const { return mag_.empty(); }
+  [[nodiscard]] bool is_negative() const { return negative_; }
+  [[nodiscard]] bool is_one() const;
+
+  /// Value as int64 if it fits; throws std::overflow_error otherwise.
+  [[nodiscard]] std::int64_t to_int64() const;
+  [[nodiscard]] bool fits_int64() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  BigInt operator-() const;
+  [[nodiscard]] BigInt abs() const;
+
+  BigInt operator+(const BigInt& rhs) const;
+  BigInt operator-(const BigInt& rhs) const;
+  BigInt operator*(const BigInt& rhs) const;
+  /// Truncated division (C++ semantics: rounds toward zero).
+  BigInt operator/(const BigInt& rhs) const;
+  /// Remainder matching operator/ (same sign as dividend).
+  BigInt operator%(const BigInt& rhs) const;
+
+  BigInt& operator+=(const BigInt& rhs) { return *this = *this + rhs; }
+  BigInt& operator-=(const BigInt& rhs) { return *this = *this - rhs; }
+  BigInt& operator*=(const BigInt& rhs) { return *this = *this * rhs; }
+  BigInt& operator/=(const BigInt& rhs) { return *this = *this / rhs; }
+
+  bool operator==(const BigInt& rhs) const = default;
+  std::strong_ordering operator<=>(const BigInt& rhs) const;
+
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Number of base-2^32 limbs (0 for zero); used by tests and heuristics.
+  [[nodiscard]] std::size_t limb_count() const { return mag_.size(); }
+
+  [[nodiscard]] std::size_t hash() const;
+
+ private:
+  // Compares magnitudes only.
+  static int cmp_mag(const std::vector<std::uint32_t>& a,
+                     const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> add_mag(const std::vector<std::uint32_t>& a,
+                                            const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> sub_mag(const std::vector<std::uint32_t>& a,
+                                            const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> mul_mag(const std::vector<std::uint32_t>& a,
+                                            const std::vector<std::uint32_t>& b);
+  // Divides magnitude by magnitude; returns {quotient, remainder}.
+  static std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>> divmod_mag(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  static void trim(std::vector<std::uint32_t>& mag);
+
+  void normalize();
+
+  bool negative_ = false;
+  std::vector<std::uint32_t> mag_;  // little-endian limbs, no trailing zeros
+};
+
+}  // namespace advocat::util

@@ -1,0 +1,29 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace advocat::util {
+
+/// Joins the elements of `parts` with `sep`.
+inline std::string join(const std::vector<std::string>& parts,
+                        const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+/// printf-free concatenation of stream-printable values.
+template <typename... Ts>
+std::string cat(const Ts&... vs) {
+  std::ostringstream os;
+  (os << ... << vs);
+  return os.str();
+}
+
+}  // namespace advocat::util

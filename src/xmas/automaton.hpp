@@ -1,0 +1,59 @@
+// xMAS IO automata (Definition 1 of the paper).
+//
+// An automaton is a finite state machine with an xMAS channel interface: it
+// owns a number of in-ports and out-ports that are wired to channels of the
+// surrounding network. Every transition is labelled with
+//   * an event ε(i, d): is the automaton willing to consume packet d from
+//     in-port i in this transition, and
+//   * a transformation φ(i, d): either ⊥ (consume without producing) or a
+//     pair (o, d') — emit packet d' on out-port o in the same step.
+//
+// The automaton type lives in the xmas module because the paper treats
+// automata as first-class xMAS primitives; the fluent builder for writing
+// protocols is in src/automata.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xmas/color.hpp"
+
+namespace advocat::xmas {
+
+/// φ result: out-port index and emitted color.
+using Emission = std::pair<int, ColorId>;
+
+struct AutTransition {
+  int from = 0;
+  int to = 0;
+  /// ε — true when the transition can consume color `d` from in-port `i`.
+  std::function<bool(int i, ColorId d)> guard;
+  /// φ — emission triggered by consuming (i, d); std::nullopt encodes ⊥.
+  std::function<std::optional<Emission>(int i, ColorId d)> transform;
+  std::string label;
+};
+
+struct Automaton {
+  std::string name;
+  std::vector<std::string> states;
+  int initial = 0;
+  int num_in = 0;   ///< in-ports (indices 0..num_in-1)
+  int num_out = 0;  ///< out-ports
+  std::vector<AutTransition> transitions;
+
+  [[nodiscard]] int num_states() const { return static_cast<int>(states.size()); }
+
+  /// Indices of transitions leaving state `s`.
+  [[nodiscard]] std::vector<int> transitions_from(int s) const {
+    std::vector<int> out;
+    for (std::size_t t = 0; t < transitions.size(); ++t) {
+      if (transitions[t].from == s) out.push_back(static_cast<int>(t));
+    }
+    return out;
+  }
+};
+
+}  // namespace advocat::xmas

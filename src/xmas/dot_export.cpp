@@ -1,0 +1,57 @@
+#include "xmas/dot_export.hpp"
+
+#include <sstream>
+
+namespace advocat::xmas {
+
+namespace {
+
+const char* shape_of(PrimKind kind) {
+  switch (kind) {
+    case PrimKind::Queue: return "box3d";
+    case PrimKind::Source: return "invtriangle";
+    case PrimKind::Sink: return "triangle";
+    case PrimKind::Automaton: return "doubleoctagon";
+    case PrimKind::Switch: return "diamond";
+    case PrimKind::Merge: return "invtrapezium";
+    case PrimKind::Fork: return "trapezium";
+    case PrimKind::Join: return "house";
+    case PrimKind::Function: return "ellipse";
+  }
+  return "box";
+}
+
+}  // namespace
+
+std::string to_dot(const Network& net, const Typing* typing) {
+  std::ostringstream os;
+  os << "digraph xmas {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  for (std::size_t i = 0; i < net.prims().size(); ++i) {
+    const Primitive& p = net.prims()[i];
+    os << "  p" << i << " [label=\"" << p.name;
+    if (p.kind == PrimKind::Queue) os << "\\ncap=" << p.capacity << (p.fifo ? "" : " bag");
+    os << "\" shape=" << shape_of(p.kind) << "];\n";
+  }
+  for (std::size_t c = 0; c < net.channels().size(); ++c) {
+    const Channel& ch = net.channels()[c];
+    os << "  p" << ch.initiator << " -> p" << ch.target;
+    if (typing != nullptr) {
+      os << " [label=\"";
+      const ColorSet& set = typing->of(static_cast<ChanId>(c));
+      for (std::size_t k = 0; k < set.size(); ++k) {
+        if (k) os << ",";
+        if (k == 4 && set.size() > 5) {
+          os << "+" << set.size() - 4;
+          break;
+        }
+        os << net.colors().name(set[k]);
+      }
+      os << "\" fontsize=8]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace advocat::xmas

@@ -1,0 +1,16 @@
+// Graphviz export of xMAS networks (debugging/documentation aid).
+#pragma once
+
+#include <string>
+
+#include "xmas/network.hpp"
+#include "xmas/typing.hpp"
+
+namespace advocat::xmas {
+
+/// Renders the network as a Graphviz digraph. When `typing` is non-null,
+/// channel edges are annotated with their derived color sets.
+[[nodiscard]] std::string to_dot(const Network& net,
+                                 const Typing* typing = nullptr);
+
+}  // namespace advocat::xmas

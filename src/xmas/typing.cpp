@@ -1,0 +1,81 @@
+#include "xmas/typing.hpp"
+
+namespace advocat::xmas {
+
+Typing Typing::derive(const Network& net) {
+  Typing typing;
+  typing.sets_.assign(net.num_channels(), {});
+  auto& T = typing.sets_;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Primitive& p : net.prims()) {
+      switch (p.kind) {
+        case PrimKind::Source:
+          changed |= set_union(T[static_cast<std::size_t>(p.out[0])], p.source_colors);
+          break;
+        case PrimKind::Queue:
+          changed |= set_union(T[static_cast<std::size_t>(p.out[0])],
+                               T[static_cast<std::size_t>(p.in[0])]);
+          break;
+        case PrimKind::Function:
+          for (ColorId d : T[static_cast<std::size_t>(p.in[0])]) {
+            changed |= set_insert(T[static_cast<std::size_t>(p.out[0])], p.func(d));
+          }
+          break;
+        case PrimKind::Fork:
+          changed |= set_union(T[static_cast<std::size_t>(p.out[0])],
+                               T[static_cast<std::size_t>(p.in[0])]);
+          changed |= set_union(T[static_cast<std::size_t>(p.out[1])],
+                               T[static_cast<std::size_t>(p.in[0])]);
+          break;
+        case PrimKind::Join:
+          changed |= set_union(T[static_cast<std::size_t>(p.out[0])],
+                               T[static_cast<std::size_t>(p.in[0])]);
+          break;
+        case PrimKind::Switch:
+          for (ColorId d : T[static_cast<std::size_t>(p.in[0])]) {
+            const int port = p.route(d);
+            if (port >= 0 && static_cast<std::size_t>(port) < p.out.size()) {
+              changed |= set_insert(T[static_cast<std::size_t>(p.out[static_cast<std::size_t>(port)])], d);
+            }
+          }
+          break;
+        case PrimKind::Merge:
+          for (ChanId in : p.in) {
+            changed |= set_union(T[static_cast<std::size_t>(p.out[0])],
+                                 T[static_cast<std::size_t>(in)]);
+          }
+          break;
+        case PrimKind::Automaton: {
+          const Automaton& a = net.automaton_of(p);
+          for (const AutTransition& t : a.transitions) {
+            for (int i = 0; i < a.num_in; ++i) {
+              for (ColorId d : T[static_cast<std::size_t>(p.in[static_cast<std::size_t>(i)])]) {
+                if (!t.guard(i, d)) continue;
+                if (auto em = t.transform(i, d)) {
+                  const auto [o, d2] = *em;
+                  changed |= set_insert(
+                      T[static_cast<std::size_t>(p.out[static_cast<std::size_t>(o)])], d2);
+                }
+              }
+            }
+          }
+          break;
+        }
+        case PrimKind::Sink:
+          break;
+      }
+    }
+  }
+  return typing;
+}
+
+std::size_t Typing::num_pairs() const {
+  std::size_t n = 0;
+  for (const ColorSet& s : sets_) n += s.size();
+  return n;
+}
+
+}  // namespace advocat::xmas

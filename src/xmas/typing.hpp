@@ -1,0 +1,37 @@
+// Per-channel color derivation — the paper's "T-derivation".
+//
+// T(c) over-approximates the set of colors that can ever appear on channel
+// c. It is the least fixpoint of the forward propagation rules:
+//   source.out  ⊇ declared colors
+//   queue.out   ⊇ T(queue.in)
+//   function.out⊇ f(T(in))
+//   fork.a/b    ⊇ T(in)
+//   join.out    ⊇ T(data-in)        (token input contributes no data)
+//   switch.out_k⊇ {d ∈ T(in) | route(d) = k}
+//   merge.out   ⊇ ∪_j T(in_j)
+//   automaton out-port o ⊇ {d' | ∃ transition t, in-port i, d ∈ T(in_i):
+//                                ε_t(i,d) ∧ φ_t(i,d) = (o,d')}
+#pragma once
+
+#include <vector>
+
+#include "xmas/network.hpp"
+
+namespace advocat::xmas {
+
+class Typing {
+ public:
+  /// Runs the fixpoint; O(iterations × channels × colors).
+  static Typing derive(const Network& net);
+
+  [[nodiscard]] const ColorSet& of(ChanId c) const { return sets_.at(static_cast<std::size_t>(c)); }
+  [[nodiscard]] std::size_t num_channels() const { return sets_.size(); }
+
+  /// Total number of (channel, color) pairs — the analyses' variable budget.
+  [[nodiscard]] std::size_t num_pairs() const;
+
+ private:
+  std::vector<ColorSet> sets_;
+};
+
+}  // namespace advocat::xmas

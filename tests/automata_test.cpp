@@ -1,0 +1,84 @@
+// AutomatonBuilder: the fluent protocol-definition DSL.
+#include <gtest/gtest.h>
+
+#include "automata/builder.hpp"
+
+namespace advocat::aut {
+namespace {
+
+TEST(AutomatonBuilder, BuildsStatesAndTransitions) {
+  AutomatonBuilder b("m", {"a", "b"});
+  b.in_ports(2).out_ports(1).initial("b");
+  b.on("a", 0, 7).emit(0, 9).go("b").label("t0");
+  b.on("b", 1, 8).go("a");
+  const Automaton m = b.build();
+  EXPECT_EQ(m.num_states(), 2);
+  EXPECT_EQ(m.initial, 1);
+  ASSERT_EQ(m.transitions.size(), 2u);
+  EXPECT_EQ(m.transitions[0].label, "t0");
+  EXPECT_EQ(m.transitions[0].from, 0);
+  EXPECT_EQ(m.transitions[0].to, 1);
+  EXPECT_TRUE(m.transitions[0].guard(0, 7));
+  EXPECT_FALSE(m.transitions[0].guard(1, 7));
+  EXPECT_FALSE(m.transitions[0].guard(0, 8));
+  const auto em = m.transitions[0].transform(0, 7);
+  ASSERT_TRUE(em.has_value());
+  EXPECT_EQ(em->first, 0);
+  EXPECT_EQ(em->second, 9);
+  // Second transition: no emission, defaults applied.
+  EXPECT_FALSE(m.transitions[1].transform(1, 8).has_value());
+}
+
+TEST(AutomatonBuilder, DefaultsToSelfLoop) {
+  AutomatonBuilder b("m", {"a"});
+  b.on("a", 0, 1);
+  const Automaton m = b.build();
+  EXPECT_EQ(m.transitions[0].to, 0);
+}
+
+TEST(AutomatonBuilder, OnAnyMatchesSet) {
+  AutomatonBuilder b("m", {"a"});
+  b.on_any("a", 0, xmas::ColorSet{2, 5, 9});
+  const Automaton m = b.build();
+  EXPECT_TRUE(m.transitions[0].guard(0, 5));
+  EXPECT_FALSE(m.transitions[0].guard(0, 3));
+  EXPECT_FALSE(m.transitions[0].guard(1, 5));
+}
+
+TEST(AutomatonBuilder, EmitFnComputesFromConsumed) {
+  AutomatonBuilder b("m", {"a"});
+  b.on_any("a", 0, xmas::ColorSet{1, 2})
+      .emit_fn(0, [](xmas::ColorId d) { return d + 10; });
+  const Automaton m = b.build();
+  EXPECT_EQ(m.transitions[0].transform(0, 2)->second, 12);
+}
+
+TEST(AutomatonBuilder, OnPredFullGenerality) {
+  AutomatonBuilder b("m", {"a"});
+  b.on_pred("a", [](int i, xmas::ColorId d) { return i + d > 4; }, "pred");
+  const Automaton m = b.build();
+  EXPECT_TRUE(m.transitions[0].guard(2, 3));
+  EXPECT_FALSE(m.transitions[0].guard(0, 3));
+}
+
+TEST(AutomatonBuilder, Validation) {
+  EXPECT_THROW(AutomatonBuilder("m", {}), std::invalid_argument);
+  AutomatonBuilder b("m", {"a"});
+  EXPECT_THROW(b.on("nope", 0, 1), std::out_of_range);
+  b.out_ports(1);
+  b.on("a", 0, 1).emit(5, 2);  // port 5 out of range
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(Automaton, TransitionsFromFiltersBySource) {
+  AutomatonBuilder b("m", {"a", "b"});
+  b.on("a", 0, 1).go("b");
+  b.on("b", 0, 2).go("a");
+  b.on("a", 0, 3);
+  const Automaton m = b.build();
+  EXPECT_EQ(m.transitions_from(0), (std::vector<int>{0, 2}));
+  EXPECT_EQ(m.transitions_from(1), (std::vector<int>{1}));
+}
+
+}  // namespace
+}  // namespace advocat::aut

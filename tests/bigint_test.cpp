@@ -1,0 +1,132 @@
+// BigInt: exact arbitrary-precision arithmetic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "util/bigint.hpp"
+
+namespace advocat::util {
+namespace {
+
+TEST(BigInt, ConstructionAndToString) {
+  EXPECT_EQ(BigInt(0).to_string(), "0");
+  EXPECT_EQ(BigInt(1).to_string(), "1");
+  EXPECT_EQ(BigInt(-1).to_string(), "-1");
+  EXPECT_EQ(BigInt(1234567890123456789LL).to_string(), "1234567890123456789");
+  EXPECT_EQ(BigInt(INT64_MIN).to_string(), "-9223372036854775808");
+}
+
+TEST(BigInt, FromString) {
+  EXPECT_EQ(BigInt::from_string("0"), BigInt(0));
+  EXPECT_EQ(BigInt::from_string("-42"), BigInt(-42));
+  EXPECT_EQ(BigInt::from_string("+42"), BigInt(42));
+  const BigInt big = BigInt::from_string("123456789012345678901234567890");
+  EXPECT_EQ(big.to_string(), "123456789012345678901234567890");
+  EXPECT_FALSE(big.fits_int64());
+  EXPECT_THROW(BigInt::from_string(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("-"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("12a"), std::invalid_argument);
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  const BigInt a = BigInt::from_string("4294967295");  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).to_string(), "4294967296");
+  const BigInt b = BigInt::from_string("18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ((b + BigInt(1)).to_string(), "18446744073709551616");
+}
+
+TEST(BigInt, SignedArithmetic) {
+  EXPECT_EQ(BigInt(5) + BigInt(-7), BigInt(-2));
+  EXPECT_EQ(BigInt(-5) + BigInt(7), BigInt(2));
+  EXPECT_EQ(BigInt(-5) - BigInt(-7), BigInt(2));
+  EXPECT_EQ(BigInt(5) * BigInt(-7), BigInt(-35));
+  EXPECT_EQ(BigInt(-5) * BigInt(-7), BigInt(35));
+  EXPECT_EQ(BigInt(0) * BigInt(-7), BigInt(0));
+  EXPECT_FALSE((BigInt(0)).is_negative());
+}
+
+TEST(BigInt, DivisionTruncatesTowardZero) {
+  EXPECT_EQ(BigInt(7) / BigInt(2), BigInt(3));
+  EXPECT_EQ(BigInt(-7) / BigInt(2), BigInt(-3));
+  EXPECT_EQ(BigInt(7) / BigInt(-2), BigInt(-3));
+  EXPECT_EQ(BigInt(7) % BigInt(2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) % BigInt(2), BigInt(-1));
+  EXPECT_THROW(BigInt(1) / BigInt(0), std::domain_error);
+}
+
+TEST(BigInt, MultiLimbDivision) {
+  const BigInt a = BigInt::from_string("340282366920938463463374607431768211456");  // 2^128
+  const BigInt b = BigInt::from_string("18446744073709551616");                    // 2^64
+  EXPECT_EQ((a / b).to_string(), "18446744073709551616");
+  EXPECT_EQ((a % b).to_string(), "0");
+  const BigInt c = a + BigInt(12345);
+  EXPECT_EQ((c % b), BigInt(12345));
+}
+
+TEST(BigInt, Comparisons) {
+  EXPECT_LT(BigInt(-2), BigInt(1));
+  EXPECT_LT(BigInt(-5), BigInt(-2));
+  EXPECT_GT(BigInt::from_string("100000000000000000000"), BigInt(INT64_MAX));
+  EXPECT_LT(BigInt::from_string("-100000000000000000000"), BigInt(INT64_MIN));
+}
+
+TEST(BigInt, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::gcd(BigInt(7), BigInt(0)), BigInt(7));
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)), BigInt(1));
+}
+
+TEST(BigInt, ToInt64Bounds) {
+  EXPECT_EQ(BigInt(INT64_MAX).to_int64(), INT64_MAX);
+  EXPECT_EQ(BigInt(INT64_MIN).to_int64(), INT64_MIN);
+  const BigInt over = BigInt(INT64_MAX) + BigInt(1);
+  EXPECT_FALSE(over.fits_int64());
+  EXPECT_THROW((void)over.to_int64(), std::overflow_error);
+  // -2^63 fits, -2^63-1 does not.
+  EXPECT_TRUE((-over).fits_int64());
+  EXPECT_FALSE((-over - BigInt(1)).fits_int64());
+}
+
+// Property sweep: arithmetic agrees with int64 on random small values.
+class BigIntRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntRandomProperty, MatchesInt64Semantics) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_int_distribution<std::int64_t> dist(-1'000'000'000LL,
+                                                   1'000'000'000LL);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t x = dist(rng);
+    const std::int64_t y = dist(rng);
+    EXPECT_EQ((BigInt(x) + BigInt(y)).to_int64(), x + y);
+    EXPECT_EQ((BigInt(x) - BigInt(y)).to_int64(), x - y);
+    EXPECT_EQ((BigInt(x) * BigInt(y)).to_int64(), x * y);
+    if (y != 0) {
+      EXPECT_EQ((BigInt(x) / BigInt(y)).to_int64(), x / y);
+      EXPECT_EQ((BigInt(x) % BigInt(y)).to_int64(), x % y);
+    }
+    EXPECT_EQ(BigInt(x) < BigInt(y), x < y);
+  }
+}
+
+// Property: (a*b)/b == a and (a/b)*b + a%b == a on multi-limb values.
+TEST_P(BigIntRandomProperty, DivModRoundTrip) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  std::uniform_int_distribution<std::int64_t> dist(-1'000'000'000LL,
+                                                   1'000'000'000LL);
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = BigInt(dist(rng)) * BigInt(dist(rng)) * BigInt(dist(rng));
+    BigInt b = BigInt(dist(rng)) * BigInt(dist(rng));
+    if (b.is_zero()) continue;
+    EXPECT_EQ((a * b) / b, a);
+    EXPECT_EQ((a / b) * b + (a % b), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntRandomProperty,
+                         ::testing::Values(1, 2, 3, 42, 12345));
+
+}  // namespace
+}  // namespace advocat::util

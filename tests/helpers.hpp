@@ -1,0 +1,53 @@
+// Shared test fixtures: the paper's Fig. 1 running example and small
+// utility builders.
+#pragma once
+
+#include "automata/builder.hpp"
+#include "xmas/network.hpp"
+
+namespace advocat::testing {
+
+/// Fig. 1 of the paper: automata S and T connected by queues q0 (requests)
+/// and q1 (acknowledgments). Both automata act on fair local token sources
+/// (S injects req on a token, T answers ack on a token).
+struct RunningExample {
+  xmas::Network net;
+  xmas::ColorId req, ack, tok_s, tok_t;
+  xmas::PrimId q0, q1, aut_s, aut_t;
+
+  RunningExample(std::size_t q0_capacity = 2, std::size_t q1_capacity = 2) {
+    auto& colors = net.colors();
+    req = colors.intern("req");
+    ack = colors.intern("ack");
+    tok_s = colors.intern("tokS");
+    tok_t = colors.intern("tokT");
+
+    aut::AutomatonBuilder bs("S", {"s0", "s1"});
+    bs.in_ports(2).out_ports(1).initial("s0");
+    // port 0: network input (acks), port 1: token source.
+    bs.on("s0", 1, tok_s).emit(0, req).go("s1").label("s0:req!");
+    bs.on("s1", 0, ack).go("s0").label("s1:ack?");
+    aut_s = net.add_automaton(bs.build());
+
+    aut::AutomatonBuilder bt("T", {"t0", "t1"});
+    bt.in_ports(2).out_ports(1).initial("t0");
+    bt.on("t0", 0, req).go("t1").label("t0:req?");
+    bt.on("t1", 1, tok_t).emit(0, ack).go("t0").label("t1:ack!");
+    aut_t = net.add_automaton(bt.build());
+
+    q0 = net.add_queue("q0", q0_capacity);
+    q1 = net.add_queue("q1", q1_capacity);
+
+    const xmas::PrimId src_s = net.add_source("srcS", {tok_s});
+    const xmas::PrimId src_t = net.add_source("srcT", {tok_t});
+
+    net.connect(aut_s, 0, q0, 0);   // S -> q0
+    net.connect(q0, 0, aut_t, 0);   // q0 -> T
+    net.connect(aut_t, 0, q1, 0);   // T -> q1
+    net.connect(q1, 0, aut_s, 0);   // q1 -> S
+    net.connect(src_s, 0, aut_s, 1);
+    net.connect(src_t, 0, aut_t, 1);
+  }
+};
+
+}  // namespace advocat::testing

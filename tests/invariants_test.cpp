@@ -1,0 +1,210 @@
+// Invariant generator: variable space, flow rows, elimination results, and
+// the soundness property that generated invariants hold on every reachable
+// state (cross-checked against the explicit-state explorer).
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "coherence/mi_abstract.hpp"
+#include "deadlock/varnames.hpp"
+#include "invariants/generator.hpp"
+#include "smt/solver.hpp"
+#include "sim/explorer.hpp"
+#include "sim/simulator.hpp"
+#include "xmas/typing.hpp"
+
+#include "helpers.hpp"
+
+namespace advocat::inv {
+namespace {
+
+TEST(VarSpace, LayoutAndNames) {
+  testing::RunningExample rx;
+  const xmas::Typing typing = xmas::Typing::derive(rx.net);
+  const VarSpace vars(rx.net, typing);
+  // λ/κ first, then occupancies and states.
+  EXPECT_TRUE(vars.is_eliminated(0));
+  const std::int32_t occ = vars.occ(rx.q0, rx.req);
+  const std::int32_t st = vars.state(0, 1);
+  EXPECT_FALSE(vars.is_eliminated(occ));
+  EXPECT_FALSE(vars.is_eliminated(st));
+  EXPECT_EQ(vars.name(occ), "#q0.req");
+  EXPECT_EQ(vars.name(st), "S.s1");
+  EXPECT_EQ(vars.smt_name(occ), occ_var_name(rx.net, rx.q0, rx.req));
+  EXPECT_EQ(vars.smt_name(st), state_var_name(rx.net, 0, 1));
+  EXPECT_THROW((void)vars.smt_name(0), std::out_of_range);
+  EXPECT_THROW((void)vars.occ(rx.aut_s, rx.req), std::out_of_range);
+}
+
+TEST(FlowRows, QueueConservation) {
+  testing::RunningExample rx;
+  const xmas::Typing typing = xmas::Typing::derive(rx.net);
+  const VarSpace vars(rx.net, typing);
+  const auto rows = build_flow_rows(rx.net, typing, vars);
+  // Find the q0 row: λ(in) − λ(out) − #q0 = 0.
+  const auto& q0 = rx.net.prim(rx.q0);
+  bool found = false;
+  for (const auto& row : rows) {
+    if (row.coeff(vars.occ(rx.q0, rx.req)) == linalg::Rational(-1) &&
+        row.coeff(vars.lambda(q0.in[0], rx.req)) == linalg::Rational(1) &&
+        row.coeff(vars.lambda(q0.out[0], rx.req)) == linalg::Rational(-1)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FlowRows, OneHotPerAutomaton) {
+  testing::RunningExample rx;
+  const xmas::Typing typing = xmas::Typing::derive(rx.net);
+  const VarSpace vars(rx.net, typing);
+  const auto rows = build_flow_rows(rx.net, typing, vars);
+  int onehots = 0;
+  for (const auto& row : rows) {
+    if (row.constant() == linalg::Rational(-1) && row.entries().size() == 2 &&
+        !vars.is_eliminated(row.min_col())) {
+      ++onehots;
+    }
+  }
+  EXPECT_EQ(onehots, 2);  // S and T
+}
+
+TEST(Generator, SmtRenderingUsesSharedNames) {
+  testing::RunningExample rx;
+  const xmas::Typing typing = xmas::Typing::derive(rx.net);
+  InvariantSet set = generate(rx.net, typing);
+  smt::ExprFactory f;
+  const auto exprs = set.to_smt(f);
+  EXPECT_EQ(exprs.size(), set.equalities.size() + set.inequalities.size());
+  bool uses_occ_name = false;
+  for (const auto& [name, is_bool] : f.variables()) {
+    if (name == occ_var_name(rx.net, rx.q0, rx.req)) uses_occ_name = true;
+    EXPECT_FALSE(is_bool);
+  }
+  EXPECT_TRUE(uses_occ_name);
+}
+
+// Soundness: every generated invariant (equality and inequality) holds in
+// every reachable state of the 2x2 MI system.
+class InvariantSoundness : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InvariantSoundness, HoldsOnAllReachableStates) {
+  coh::MiAbstractConfig config;
+  config.queue_capacity = GetParam();
+  coh::MiAbstractSystem sys = coh::build_mi_abstract(config);
+  const xmas::Typing typing = xmas::Typing::derive(sys.net);
+  InvariantSet set = generate(sys.net, typing);
+  ASSERT_FALSE(set.equalities.empty());
+
+  // Enumerate reachable states (bounded) and evaluate each invariant.
+  sim::Simulator simulator(sys.net);
+  std::vector<sim::State> stack = {simulator.initial()};
+  std::unordered_map<std::size_t, int> seen;
+  const VarSpace& vars = *set.vars;
+
+  // Column evaluation against a concrete simulator state.
+  const auto queues = sys.net.prims_of_kind(xmas::PrimKind::Queue);
+  auto value_of = [&](std::int32_t col, const sim::State& s) -> int {
+    for (std::size_t qi = 0; qi < queues.size(); ++qi) {
+      const auto& prim = sys.net.prim(queues[qi]);
+      for (xmas::ColorId d : typing.of(prim.in[0])) {
+        if (vars.occ(queues[qi], d) == col) {
+          int count = 0;
+          for (xmas::ColorId stored : s.queues[qi]) count += stored == d;
+          return count;
+        }
+      }
+    }
+    for (std::size_t ai = 0; ai < sys.net.automata().size(); ++ai) {
+      const auto& a = sys.net.automata()[ai];
+      for (int st = 0; st < a.num_states(); ++st) {
+        if (vars.state(static_cast<int>(ai), st) == col) {
+          return s.aut_states[ai] == st ? 1 : 0;
+        }
+      }
+    }
+    ADD_FAILURE() << "unknown column";
+    return 0;
+  };
+
+  std::size_t states_checked = 0;
+  while (!stack.empty() && states_checked < 3000) {
+    sim::State s = std::move(stack.back());
+    stack.pop_back();
+    const std::size_t h = sim::StateHash{}(s);
+    if (seen.count(h)) continue;
+    seen[h] = 1;
+    ++states_checked;
+    for (const auto& row : set.equalities) {
+      linalg::Rational acc = row.constant();
+      for (const auto& e : row.entries()) {
+        acc += e.coeff * linalg::Rational(value_of(e.col, s));
+      }
+      ASSERT_TRUE(acc.is_zero()) << "equality violated in reachable state";
+    }
+    for (const auto& row : set.inequalities) {
+      linalg::Rational acc = row.constant();
+      for (const auto& e : row.entries()) {
+        acc += e.coeff * linalg::Rational(value_of(e.col, s));
+      }
+      ASSERT_LE(acc, linalg::Rational(0)) << "inequality violated";
+    }
+    for (auto& ev : simulator.events(s)) stack.push_back(std::move(ev.next));
+  }
+  EXPECT_GT(states_checked, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, InvariantSoundness,
+                         ::testing::Values(1u, 2u, 3u));
+
+// The flow-completion constraints are satisfiable for the initial state
+// (all queues empty, automata initial) — a sanity anchor.
+TEST(FlowCompletion, InitialStateSatisfiable) {
+  testing::RunningExample rx;
+  const xmas::Typing typing = xmas::Typing::derive(rx.net);
+  smt::ExprFactory f;
+  auto constraints = flow_completion_smt(rx.net, typing, f);
+  // Pin the initial state.
+  constraints.push_back(
+      f.eq(f.int_var(occ_var_name(rx.net, rx.q0, rx.req)), f.int_const(0)));
+  constraints.push_back(
+      f.eq(f.int_var(occ_var_name(rx.net, rx.q1, rx.ack)), f.int_const(0)));
+  constraints.push_back(
+      f.eq(f.int_var(state_var_name(rx.net, 0, 0)), f.int_const(1)));
+  constraints.push_back(
+      f.eq(f.int_var(state_var_name(rx.net, 1, 0)), f.int_const(1)));
+  constraints.push_back(
+      f.eq(f.int_var(state_var_name(rx.net, 0, 1)), f.int_const(0)));
+  constraints.push_back(
+      f.eq(f.int_var(state_var_name(rx.net, 1, 1)), f.int_const(0)));
+  auto solver = smt::make_z3_solver(f);
+  for (auto e : constraints) solver->add(e);
+  EXPECT_EQ(solver->check(), smt::SatResult::Sat);
+}
+
+// And unsatisfiable for the state the paper proves unreachable: (s0, t1)
+// with empty queues (the invariant evaluates to -1 = 0).
+TEST(FlowCompletion, UnreachableStateRejected) {
+  testing::RunningExample rx;
+  const xmas::Typing typing = xmas::Typing::derive(rx.net);
+  smt::ExprFactory f;
+  auto constraints = flow_completion_smt(rx.net, typing, f);
+  constraints.push_back(
+      f.eq(f.int_var(occ_var_name(rx.net, rx.q0, rx.req)), f.int_const(0)));
+  constraints.push_back(
+      f.eq(f.int_var(occ_var_name(rx.net, rx.q1, rx.ack)), f.int_const(0)));
+  constraints.push_back(
+      f.eq(f.int_var(state_var_name(rx.net, 0, 0)), f.int_const(1)));  // s0
+  constraints.push_back(
+      f.eq(f.int_var(state_var_name(rx.net, 1, 1)), f.int_const(1)));  // t1
+  constraints.push_back(
+      f.eq(f.int_var(state_var_name(rx.net, 0, 1)), f.int_const(0)));
+  constraints.push_back(
+      f.eq(f.int_var(state_var_name(rx.net, 1, 0)), f.int_const(0)));
+  auto solver = smt::make_z3_solver(f);
+  for (auto e : constraints) solver->add(e);
+  EXPECT_EQ(solver->check(), smt::SatResult::Unsat);
+}
+
+}  // namespace
+}  // namespace advocat::inv

@@ -1,0 +1,172 @@
+// Sparse rows and the sweeping eliminator.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/eliminator.hpp"
+#include "linalg/sparse_row.hpp"
+
+namespace advocat::linalg {
+namespace {
+
+using util::BigInt;
+
+SparseRow row_of(std::initializer_list<std::pair<int, int>> entries,
+                 int constant = 0) {
+  SparseRow r;
+  for (const auto& [col, coeff] : entries) r.add(col, Rational(coeff));
+  r.add_constant(Rational(constant));
+  return r;
+}
+
+TEST(SparseRow, AddMergesAndCancels) {
+  SparseRow r;
+  r.add(3, Rational(2));
+  r.add(1, Rational(5));
+  r.add(3, Rational(-2));  // cancels
+  EXPECT_EQ(r.coeff(3), Rational(0));
+  EXPECT_EQ(r.coeff(1), Rational(5));
+  EXPECT_EQ(r.min_col(), 1);
+  EXPECT_EQ(r.entries().size(), 1u);
+}
+
+TEST(SparseRow, AddScaledMergesSortedEntries) {
+  SparseRow a = row_of({{0, 1}, {2, 3}}, 5);
+  const SparseRow b = row_of({{1, 2}, {2, -3}}, -5);
+  a.add_scaled(b, Rational(1));
+  EXPECT_EQ(a.coeff(0), Rational(1));
+  EXPECT_EQ(a.coeff(1), Rational(2));
+  EXPECT_EQ(a.coeff(2), Rational(0));
+  EXPECT_TRUE(a.constant().is_zero());
+}
+
+TEST(SparseRow, NormalizeIntegerClearsDenominators) {
+  SparseRow r;
+  r.add(0, Rational(BigInt(1), BigInt(2)));
+  r.add(1, Rational(BigInt(-1), BigInt(3)));
+  r.add_constant(Rational(BigInt(1), BigInt(6)));
+  r.normalize_integer();
+  EXPECT_EQ(r.coeff(0), Rational(3));
+  EXPECT_EQ(r.coeff(1), Rational(-2));
+  EXPECT_EQ(r.constant(), Rational(1));
+}
+
+TEST(SparseRow, NormalizeIntegerForcesPositiveLead) {
+  SparseRow r = row_of({{0, -2}, {1, 4}});
+  r.normalize_integer();
+  EXPECT_EQ(r.coeff(0), Rational(1));
+  EXPECT_EQ(r.coeff(1), Rational(-2));
+}
+
+TEST(SparseRow, ToStringRendering) {
+  const SparseRow r = row_of({{0, 1}, {1, -2}}, 3);
+  const auto name = [](std::int32_t c) { return "x" + std::to_string(c); };
+  EXPECT_EQ(r.to_string(name), "x0 - 2*x1 + 3 = 0");
+}
+
+TEST(Eliminator, SimpleSweep) {
+  // x0 + x1 - k = 0 ; k - x2 = 0 (eliminate k) => x0 + x1 - x2 = 0.
+  std::vector<SparseRow> rows;
+  rows.push_back(row_of({{0, 1}, {1, 1}, {9, -1}}));
+  rows.push_back(row_of({{9, 1}, {2, -1}}));
+  auto result = Eliminator::eliminate(
+      rows, [](std::int32_t c) { return c >= 9; });
+  ASSERT_EQ(result.equalities.size(), 1u);
+  const SparseRow& inv = result.equalities[0];
+  EXPECT_EQ(inv.coeff(0), Rational(1));
+  EXPECT_EQ(inv.coeff(1), Rational(1));
+  EXPECT_EQ(inv.coeff(2), Rational(-1));
+  EXPECT_FALSE(result.inconsistent);
+}
+
+TEST(Eliminator, DetectsInconsistency) {
+  std::vector<SparseRow> rows;
+  rows.push_back(row_of({{9, 1}}, 1));   // k + 1 = 0
+  rows.push_back(row_of({{9, 1}}, -1));  // k - 1 = 0
+  auto result = Eliminator::eliminate(
+      rows, [](std::int32_t c) { return c >= 9; });
+  EXPECT_TRUE(result.inconsistent);
+}
+
+TEST(Eliminator, KeepsRowsWithoutEliminatedColumns) {
+  std::vector<SparseRow> rows;
+  rows.push_back(row_of({{0, 1}, {1, 1}}, -1));
+  auto result = Eliminator::eliminate(
+      rows, [](std::int32_t c) { return c >= 9; });
+  ASSERT_EQ(result.equalities.size(), 1u);
+  EXPECT_EQ(result.equalities[0].coeff(0), Rational(1));
+}
+
+TEST(Eliminator, DerivesSameSignInequalities) {
+  // k0 + k1 + x0 - 2 = 0 with k0,k1 >= 0  =>  x0 - 2 <= 0.
+  std::vector<SparseRow> rows;
+  rows.push_back(row_of({{9, 1}, {10, 1}, {0, 1}}, -2));
+  auto result = Eliminator::eliminate(
+      rows, [](std::int32_t c) { return c >= 9; },
+      /*derive_inequalities=*/true);
+  ASSERT_EQ(result.inequalities.size(), 1u);
+  EXPECT_EQ(result.inequalities[0].coeff(0), Rational(1));
+  EXPECT_EQ(result.inequalities[0].constant(), Rational(-2));
+}
+
+TEST(Eliminator, RrefIsCanonical) {
+  std::vector<SparseRow> rows;
+  rows.push_back(row_of({{0, 2}, {1, 4}}, 2));
+  rows.push_back(row_of({{0, 1}, {1, 1}}, 0));
+  ASSERT_TRUE(Eliminator::reduce_rref(rows));
+  ASSERT_EQ(rows.size(), 2u);
+  // RREF: x0 = 1, x1 = -1 (leading ones, zero elsewhere).
+  EXPECT_EQ(rows[0].coeff(0), Rational(1));
+  EXPECT_EQ(rows[0].coeff(1), Rational(0));
+  EXPECT_EQ(rows[1].coeff(0), Rational(0));
+  EXPECT_EQ(rows[1].coeff(1), Rational(1));
+}
+
+// Property: eliminating a random consistent system never reports
+// inconsistency, and every surviving equality is a valid consequence (the
+// designated solution satisfies it).
+class EliminatorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EliminatorProperty, SolutionsSurviveProjection) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_int_distribution<int> coeff(-3, 3);
+  std::uniform_int_distribution<int> val(0, 4);
+  const int num_vars = 12;
+  const int num_elim = 6;
+  // Designated solution.
+  std::vector<int> solution(num_vars);
+  for (auto& v : solution) v = val(rng);
+  // Random rows through the solution.
+  std::vector<SparseRow> rows;
+  for (int i = 0; i < 10; ++i) {
+    SparseRow r;
+    int dot = 0;
+    for (int c = 0; c < num_vars; ++c) {
+      const int a = coeff(rng);
+      if (a != 0) {
+        r.add(c, Rational(a));
+        dot += a * solution[static_cast<std::size_t>(c)];
+      }
+    }
+    r.add_constant(Rational(-dot));
+    rows.push_back(std::move(r));
+  }
+  auto result = Eliminator::eliminate(
+      rows, [num_elim](std::int32_t c) { return c < num_elim; },
+      /*derive_inequalities=*/false);
+  EXPECT_FALSE(result.inconsistent);
+  for (const SparseRow& inv : result.equalities) {
+    Rational acc = inv.constant();
+    for (const auto& e : inv.entries()) {
+      EXPECT_GE(e.col, num_elim) << "eliminated column survived";
+      acc += e.coeff * Rational(solution[static_cast<std::size_t>(e.col)]);
+    }
+    EXPECT_TRUE(acc.is_zero()) << "projected equality violated by solution";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EliminatorProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace advocat::linalg

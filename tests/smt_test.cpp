@@ -1,0 +1,139 @@
+// Expression factory, SMT-LIB printing, evaluator, and the Z3 backend.
+#include <gtest/gtest.h>
+
+#include "smt/eval.hpp"
+#include "smt/expr.hpp"
+#include "smt/smtlib.hpp"
+#include "smt/solver.hpp"
+
+namespace advocat::smt {
+namespace {
+
+TEST(ExprFactory, HashConsing) {
+  ExprFactory f;
+  const ExprId a = f.int_var("a");
+  const ExprId b = f.int_var("b");
+  EXPECT_EQ(f.add({a, b}), f.add({b, a}));  // sorted kids
+  EXPECT_EQ(f.int_var("a"), a);
+  EXPECT_THROW(f.bool_var("a"), std::logic_error);  // sort clash
+}
+
+TEST(ExprFactory, BooleanSimplification) {
+  ExprFactory f;
+  const ExprId p = f.bool_var("p");
+  EXPECT_EQ(f.and_({p, f.bool_const(true)}), p);
+  EXPECT_EQ(f.and_({p, f.bool_const(false)}), f.bool_const(false));
+  EXPECT_EQ(f.or_({p, f.bool_const(false)}), p);
+  EXPECT_EQ(f.or_({p, f.bool_const(true)}), f.bool_const(true));
+  EXPECT_EQ(f.not_(f.not_(p)), p);
+  EXPECT_EQ(f.and_({}), f.bool_const(true));
+  EXPECT_EQ(f.or_({}), f.bool_const(false));
+  EXPECT_EQ(f.and_({p, p}), p);  // dedup
+}
+
+TEST(ExprFactory, ArithmeticFolding) {
+  ExprFactory f;
+  const ExprId x = f.int_var("x");
+  EXPECT_EQ(f.add({f.int_const(2), f.int_const(3)}), f.int_const(5));
+  EXPECT_EQ(f.mul_const(0, x), f.int_const(0));
+  EXPECT_EQ(f.mul_const(1, x), x);
+  EXPECT_EQ(f.mul_const(2, f.mul_const(3, x)), f.mul_const(6, x));
+  EXPECT_EQ(f.le(f.int_const(1), f.int_const(2)), f.bool_const(true));
+  EXPECT_EQ(f.eq(f.int_const(1), f.int_const(2)), f.bool_const(false));
+}
+
+TEST(Eval, MatchesExpectedSemantics) {
+  ExprFactory f;
+  Model m;
+  m.set_int("x", 3);
+  m.set_bool("p", true);
+  const ExprId x = f.int_var("x");
+  const ExprId p = f.bool_var("p");
+  EXPECT_EQ(eval_int(f, m, f.add({x, f.mul_const(2, x)})), 9);
+  EXPECT_TRUE(eval_bool(f, m, f.and_({p, f.le(x, f.int_const(3))})));
+  EXPECT_FALSE(eval_bool(f, m, f.not_(p)));
+  EXPECT_TRUE(eval_bool(f, m, f.implies(f.not_(p), f.bool_const(false))));
+  EXPECT_TRUE(eval_bool(f, m, f.iff(p, f.eq(x, f.int_const(3)))));
+  EXPECT_THROW((void)eval_bool(f, m, x), std::logic_error);
+}
+
+TEST(SmtLib, DeclaresAndAsserts) {
+  ExprFactory f;
+  const ExprId x = f.int_var("x");
+  const ExprId p = f.bool_var("p[a:b]");  // needs quoting
+  const ExprId a = f.and_({p, f.le(f.int_const(0), x)});
+  const std::string text = to_smtlib(f, {a});
+  EXPECT_NE(text.find("(declare-const x Int)"), std::string::npos);
+  EXPECT_NE(text.find("|p[a:b]|"), std::string::npos);
+  EXPECT_NE(text.find("(assert"), std::string::npos);
+  EXPECT_NE(text.find("(check-sat)"), std::string::npos);
+}
+
+TEST(SmtLib, NegativeConstants) {
+  ExprFactory f;
+  const std::string text =
+      to_smtlib(f, {f.eq(f.int_var("x"), f.int_const(-5))});
+  EXPECT_NE(text.find("(- 5)"), std::string::npos);
+}
+
+TEST(Z3Solver, SatWithModel) {
+  ExprFactory f;
+  const ExprId x = f.int_var("x");
+  const ExprId y = f.int_var("y");
+  auto solver = make_z3_solver(f);
+  solver->add(f.eq(f.add({x, y}), f.int_const(7)));
+  solver->add(f.le(f.int_const(3), x));
+  solver->add(f.le(x, f.int_const(3)));
+  ASSERT_EQ(solver->check(), SatResult::Sat);
+  EXPECT_EQ(solver->model().int_value("x"), 3);
+  EXPECT_EQ(solver->model().int_value("y"), 4);
+}
+
+TEST(Z3Solver, Unsat) {
+  ExprFactory f;
+  const ExprId x = f.int_var("x");
+  auto solver = make_z3_solver(f);
+  solver->add(f.le(x, f.int_const(1)));
+  solver->add(f.le(f.int_const(2), x));
+  EXPECT_EQ(solver->check(), SatResult::Unsat);
+}
+
+TEST(Z3Solver, BooleanStructure) {
+  ExprFactory f;
+  const ExprId p = f.bool_var("p");
+  const ExprId q = f.bool_var("q");
+  auto solver = make_z3_solver(f);
+  solver->add(f.iff(p, f.not_(q)));
+  solver->add(p);
+  ASSERT_EQ(solver->check(), SatResult::Sat);
+  EXPECT_TRUE(solver->model().bool_value("p"));
+  EXPECT_FALSE(solver->model().bool_value("q"));
+}
+
+// Round-trip: every model returned by Z3 satisfies the asserted formula
+// under our reference evaluator.
+class Z3RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(Z3RoundTrip, ModelSatisfiesAssertions) {
+  ExprFactory f;
+  const int n = GetParam();
+  std::vector<ExprId> assertions;
+  std::vector<ExprId> vars;
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(f.int_var("v" + std::to_string(i)));
+    assertions.push_back(f.le(f.int_const(0), vars.back()));
+    assertions.push_back(f.le(vars.back(), f.int_const(i + 1)));
+  }
+  assertions.push_back(f.eq(f.add(vars), f.int_const(n)));
+  auto solver = make_z3_solver(f);
+  for (ExprId a : assertions) solver->add(a);
+  ASSERT_EQ(solver->check(), SatResult::Sat);
+  for (ExprId a : assertions) {
+    EXPECT_TRUE(eval_bool(f, solver->model(), a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Z3RoundTrip, ::testing::Values(1, 3, 8, 20));
+
+}  // namespace
+}  // namespace advocat::smt

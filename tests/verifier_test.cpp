@@ -1,0 +1,96 @@
+// End-to-end verifier and minimal-queue-size search.
+#include <gtest/gtest.h>
+
+#include "advocat/verifier.hpp"
+#include "coherence/mi_abstract.hpp"
+#include "helpers.hpp"
+
+namespace advocat::core {
+namespace {
+
+TEST(Verifier, RejectsInvalidNetworks) {
+  xmas::Network net;
+  net.add_queue("dangling", 2);
+  EXPECT_THROW(verify(net), std::invalid_argument);
+}
+
+TEST(Verifier, ReportsStageTimings) {
+  testing::RunningExample rx;
+  const VerifyResult r = verify(rx.net);
+  EXPECT_TRUE(r.deadlock_free());
+  EXPECT_GT(r.num_invariants, 0u);
+  EXPECT_GE(r.total_seconds, 0.0);
+  EXPECT_FALSE(r.invariant_text.empty());
+  EXPECT_NE(r.to_string().find("invariants:"), std::string::npos);
+}
+
+TEST(Verifier, InvariantsCanBeDisabled) {
+  testing::RunningExample rx;
+  VerifyOptions options;
+  options.use_invariants = false;
+  const VerifyResult r = verify(rx.net, options);
+  EXPECT_EQ(r.num_invariants, 0u);
+  EXPECT_FALSE(r.deadlock_free());  // candidates reappear
+}
+
+TEST(QueueSizing, FindsTheKnownBoundary) {
+  auto make = [](std::size_t cap) {
+    coh::MiAbstractConfig config;
+    config.queue_capacity = cap;
+    return std::move(coh::build_mi_abstract(config).net);
+  };
+  QueueSizingOptions options;
+  options.min_capacity = 1;
+  options.max_capacity = 16;
+  const QueueSizingResult r = find_minimal_queue_size(make, options);
+  EXPECT_EQ(r.minimal_capacity, 3u);  // the paper's 2x2 value
+  // Probes must include a failing and a succeeding capacity.
+  bool saw_bad = false;
+  bool saw_good = false;
+  for (const auto& [cap, free] : r.probes) {
+    saw_bad |= !free;
+    saw_good |= free;
+    if (free) EXPECT_GE(cap, 3u);
+    else EXPECT_LT(cap, 3u);
+  }
+  EXPECT_TRUE(saw_bad);
+  EXPECT_TRUE(saw_good);
+}
+
+TEST(QueueSizing, ReportsFailureWhenNothingFits) {
+  // A dead sink deadlocks at every capacity.
+  auto make = [](std::size_t cap) {
+    xmas::Network net;
+    const xmas::ColorId d = net.colors().intern("d");
+    const xmas::PrimId q = net.add_queue("q", cap);
+    net.connect(net.add_source("src", {d}), 0, q, 0);
+    net.connect(q, 0, net.add_sink("sink", /*fair=*/false), 0);
+    return net;
+  };
+  QueueSizingOptions options;
+  options.min_capacity = 1;
+  options.max_capacity = 8;
+  const QueueSizingResult r = find_minimal_queue_size(make, options);
+  EXPECT_EQ(r.minimal_capacity, 0u);
+  EXPECT_FALSE(r.probes.empty());
+}
+
+TEST(QueueSizing, TrivialSystemNeedsMinCapacity) {
+  // A fair pipeline is free at any capacity: the minimum is min_capacity.
+  auto make = [](std::size_t cap) {
+    xmas::Network net;
+    const xmas::ColorId d = net.colors().intern("d");
+    const xmas::PrimId q = net.add_queue("q", cap);
+    net.connect(net.add_source("src", {d}), 0, q, 0);
+    net.connect(q, 0, net.add_sink("sink"), 0);
+    return net;
+  };
+  QueueSizingOptions options;
+  options.min_capacity = 2;
+  options.max_capacity = 8;
+  const QueueSizingResult r = find_minimal_queue_size(make, options);
+  EXPECT_EQ(r.minimal_capacity, 2u);
+}
+
+}  // namespace
+}  // namespace advocat::core
