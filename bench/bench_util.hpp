@@ -3,12 +3,26 @@
 // Every binary prints the paper artifact it regenerates (paper value vs
 // measured value). Defaults finish in seconds on one core; setting
 // ADVOCAT_FULL=1 in the environment runs paper-scale instances.
+//
+// All wall-clock timing goes through util::Stopwatch (steady_clock), and
+// every harness emits one machine-readable result line per scenario:
+//
+//   BENCH_JSON {"bench":"E3","capacity":2,"verdict":"deadlock",...}
+//
+// so result trajectories (BENCH_*.json) can be collected by grepping for
+// the BENCH_JSON prefix.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+
+#include "util/stopwatch.hpp"
 
 namespace advocat::bench {
+
+/// Wall-clock timer for experiment phases.
+using Timer = util::Stopwatch;
 
 inline bool full_scale() { return std::getenv("ADVOCAT_FULL") != nullptr; }
 
@@ -19,5 +33,47 @@ inline void header(const char* id, const char* what) {
                 "paper-scale runs)\n");
   }
 }
+
+/// One-line JSON result builder. Values are numbers, booleans, or plain
+/// strings (no embedded quotes/backslashes — true for everything the
+/// harnesses emit).
+class JsonLine {
+ public:
+  explicit JsonLine(const char* bench) {
+    body_ = "{\"bench\":\"" + std::string(bench) + "\"";
+  }
+
+  JsonLine& field(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return raw(key, buf);
+  }
+  JsonLine& field(const char* key, std::size_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonLine& field(const char* key, int v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonLine& field(const char* key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  JsonLine& field(const char* key, const char* v) {
+    return raw(key, "\"" + std::string(v) + "\"");
+  }
+  JsonLine& field(const char* key, const std::string& v) {
+    return field(key, v.c_str());
+  }
+
+  /// Prints `BENCH_JSON {...}` on its own line.
+  void print() const { std::printf("BENCH_JSON %s}\n", body_.c_str()); }
+
+ private:
+  JsonLine& raw(const char* key, const std::string& value) {
+    body_ += ",\"" + std::string(key) + "\":" + value;
+    return *this;
+  }
+
+  std::string body_;
+};
 
 }  // namespace advocat::bench

@@ -10,6 +10,7 @@
 
 #include "advocat/verifier.hpp"
 #include "automata/builder.hpp"
+#include "bench_util.hpp"
 #include "invariants/generator.hpp"
 #include "xmas/typing.hpp"
 
@@ -69,6 +70,12 @@ void print_reproduction() {
               plain.deadlock_free() ? "deadlock-free" : "candidate found");
   std::printf("measured: with invariants    -> %s\n\n",
               full.deadlock_free() ? "deadlock-free" : "candidate found");
+  bench::JsonLine("fig1_running_example")
+      .field("invariants", full.num_invariants)
+      .field("free_without_invariants", plain.deadlock_free())
+      .field("free_with_invariants", full.deadlock_free())
+      .field("seconds", full.total_seconds)
+      .print();
 }
 
 void BM_InvariantGeneration(benchmark::State& state) {

@@ -28,6 +28,11 @@ int main() {
                 cap == 2 ? "deadlock" : "deadlock-free",
                 result.deadlock_free() ? "deadlock-free" : "deadlock candidate",
                 result.total_seconds);
+    bench::JsonLine("fig3_crosslayer_deadlock")
+        .field("capacity", cap)
+        .field("verdict", result.deadlock_free() ? "free" : "deadlock")
+        .field("seconds", result.total_seconds)
+        .print();
     if (!result.deadlock_free()) {
       std::printf("%s", result.report.to_string().c_str());
 

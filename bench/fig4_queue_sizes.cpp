@@ -37,6 +37,7 @@ int main() {
   bench::header("E4 / Fig. 4", "minimal queue sizes found by ADVOCAT");
 
   const int max_k = bench::full_scale() ? 5 : 4;
+  bench::Timer timer;
   for (int k = 2; k <= max_k; ++k) {
     std::printf("\n%dx%d mesh, minimal safe queue size per directory "
                 "position:\n",
@@ -44,7 +45,15 @@ int main() {
     for (int y = 0; y < k; ++y) {
       std::printf("  ");
       for (int x = 0; x < k; ++x) {
-        std::printf("%4zu", minimal_size(k, y * k + x));
+        timer.reset();
+        const std::size_t size = minimal_size(k, y * k + x);
+        std::printf("%4zu", size);
+        bench::JsonLine("fig4_queue_sizes")
+            .field("mesh", k)
+            .field("directory_node", y * k + x)
+            .field("minimal_capacity", size)
+            .field("seconds", timer.seconds())
+            .print();
       }
       std::printf("\n");
     }

@@ -45,6 +45,16 @@ void compare(int k, std::size_t cap, std::size_t state_budget) {
               advocat_result.deadlock_free() ? "free" : "deadlock",
               advocat_result.total_seconds, mc_verdict, mc.seconds,
               mc.states_visited);
+  bench::JsonLine("tab_baseline_mc")
+      .field("mesh", k)
+      .field("capacity", cap)
+      .field("advocat_verdict",
+             advocat_result.deadlock_free() ? "free" : "deadlock")
+      .field("advocat_seconds", advocat_result.total_seconds)
+      .field("explicit_verdict", mc_verdict)
+      .field("explicit_seconds", mc.seconds)
+      .field("explicit_states", mc.states_visited)
+      .print();
 }
 
 void BM_AdvocatVerify2x2(benchmark::State& state) {

@@ -67,5 +67,11 @@ int main() {
               rows.size() == rank ? "YES" : "NO");
   std::printf("paper reference: 6 cache-related invariants for 3 caches; "
               "sufficient to prove deadlock freedom at queue size 3.\n");
+  bench::JsonLine("tab_invariants_2x2")
+      .field("equalities", set.equalities.size())
+      .field("inequalities", set.inequalities.size())
+      .field("paper_invariant_in_span", rows.size() == rank)
+      .field("seconds", set.seconds)
+      .print();
   return rows.size() == rank ? 0 : 1;
 }

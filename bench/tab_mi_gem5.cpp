@@ -70,6 +70,12 @@ int main() {
     }
     std::printf("%dx%-4d %8zu %14.2f %14.2f\n", k, k,
                 sizing.minimal_capacity, t_deadlock, t_proof);
+    bench::JsonLine("tab_mi_gem5")
+        .field("mesh", k)
+        .field("minimal_capacity", sizing.minimal_capacity)
+        .field("deadlock_seconds", t_deadlock)
+        .field("proof_seconds", t_proof)
+        .print();
   }
   std::printf("\npaper reference (5x5): deadlock found in 32 min, proof of "
               "freedom in 56 min (2016 hardware); the shape under test is "

@@ -10,7 +10,6 @@
 #include "advocat/verifier.hpp"
 #include "bench_util.hpp"
 #include "coherence/mi_abstract.hpp"
-#include "util/stopwatch.hpp"
 
 using namespace advocat;
 
@@ -28,7 +27,7 @@ int main() {
     config.height = k;
     config.queue_capacity = 30;
     config.num_vcs = vcs;
-    util::Stopwatch watch;
+    bench::Timer watch;
     coh::MiAbstractSystem sys = coh::build_mi_abstract(config);
     const core::VerifyResult r = core::verify(sys.net);
     std::printf("%dx%-4d %6d %10zu %8zu %7zu %6zu %9.2f %9.2f %9.2f  [%s]\n",
@@ -37,6 +36,16 @@ int main() {
                 r.num_invariants, r.invariant_seconds,
                 r.report.solve_seconds, watch.seconds(),
                 r.deadlock_free() ? "free" : "deadlock");
+    bench::JsonLine("tab_scaling")
+        .field("mesh", k)
+        .field("vcs", vcs)
+        .field("primitives", sys.net.num_prims_desugared())
+        .field("invariants", r.num_invariants)
+        .field("invariant_seconds", r.invariant_seconds)
+        .field("solve_seconds", r.report.solve_seconds)
+        .field("total_seconds", watch.seconds())
+        .field("verdict", r.deadlock_free() ? "free" : "deadlock")
+        .print();
   }
   std::printf("paper 6x6+VC reference: 2844 primitives, 36 automata, "
               "432 queues, 67 s total.\n");
@@ -52,6 +61,12 @@ int main() {
     const core::VerifyResult r = core::verify(sys.net);
     std::printf("  capacity %4zu: %.2fs (%s)\n", cap, r.total_seconds,
                 r.deadlock_free() ? "free" : "deadlock");
+    bench::JsonLine("tab_scaling_capacity_sweep")
+        .field("mesh", 4)
+        .field("capacity", cap)
+        .field("total_seconds", r.total_seconds)
+        .field("verdict", r.deadlock_free() ? "free" : "deadlock")
+        .print();
   }
   std::printf("paper: verification time does not depend on queue size.\n");
   return 0;

@@ -42,6 +42,13 @@ int main() {
                 "(deadlock still present at %zu) [%.1fs]\n",
                 vcs, vcs == 1 ? " " : "s", r.minimal_capacity, largest_bad,
                 r.seconds);
+    bench::JsonLine("tab_vc_ablation")
+        .field("mesh", k)
+        .field("vcs", vcs)
+        .field("minimal_capacity", r.minimal_capacity)
+        .field("largest_deadlocked_capacity", largest_bad)
+        .field("seconds", r.seconds)
+        .print();
   }
   std::printf("\npaper reference (6x6): no VCs -> 58, with VCs -> >29; "
               "VCs cannot remove the deadlock, only shrink the bound.\n");

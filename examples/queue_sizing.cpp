@@ -2,6 +2,10 @@
 // paper's headline application (Fig. 4).
 //
 // Usage:   ./build/examples/queue_sizing [mesh_k=3] [directory_node=-1]
+//
+// Meshes of 3x3 and larger currently need the Z3 backend (builds with
+// libz3 found); the native solver handles 2x2 in seconds but does not yet
+// scale past it (clause learning — see ROADMAP.md).
 #include <cstdio>
 #include <cstdlib>
 

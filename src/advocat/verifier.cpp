@@ -53,8 +53,8 @@ VerifyResult verify(const xmas::Network& net, const VerifyOptions& options) {
     extra.insert(extra.end(), flow.begin(), flow.end());
   }
 
-  result.report =
-      deadlock::check(net, typing, factory, extra, options.timeout_ms);
+  result.report = deadlock::check(net, typing, factory, extra,
+                                  options.timeout_ms, options.backend);
   result.total_seconds = total.seconds();
   return result;
 }

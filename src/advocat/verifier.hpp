@@ -24,8 +24,11 @@ struct VerifyOptions {
   /// flow completions need negative counters — required for the
   /// GEM5-style MI protocol).
   bool use_flow_completion = false;
-  /// Z3 timeout per query; 0 = unlimited.
+  /// Solver timeout per query; 0 = unlimited.
   unsigned timeout_ms = 0;
+  /// Solver backend: Auto picks Z3 when compiled in, the portable native
+  /// solver otherwise.
+  smt::Backend backend = smt::Backend::Auto;
 };
 
 struct VerifyResult {

@@ -28,7 +28,7 @@ std::string Report::to_string() const {
 Report check(const xmas::Network& net, const xmas::Typing& typing,
              smt::ExprFactory& factory,
              const std::vector<smt::ExprId>& extra_assertions,
-             unsigned timeout_ms) {
+             unsigned timeout_ms, smt::Backend backend) {
   Report report;
   util::Stopwatch watch;
 
@@ -37,7 +37,7 @@ Report check(const xmas::Network& net, const xmas::Typing& typing,
   report.num_definitions = enc.definitions.size();
   report.encode_seconds = watch.seconds();
 
-  auto solver = smt::make_z3_solver(factory);
+  auto solver = smt::make_solver(factory, backend);
   for (smt::ExprId e : enc.structural) solver->add(e);
   for (smt::ExprId e : enc.definitions) solver->add(e);
   for (smt::ExprId e : extra_assertions) solver->add(e);

@@ -35,10 +35,12 @@ struct Report {
 
 /// Runs the block/idle deadlock query. `extra_assertions` (typically the
 /// generated invariants) are conjoined; they must come from `factory`.
-/// `timeout_ms` 0 = no limit.
+/// `timeout_ms` 0 = no limit. `backend` selects the solver (Auto = Z3 when
+/// compiled in, native otherwise).
 Report check(const xmas::Network& net, const xmas::Typing& typing,
              smt::ExprFactory& factory,
              const std::vector<smt::ExprId>& extra_assertions = {},
-             unsigned timeout_ms = 0);
+             unsigned timeout_ms = 0,
+             smt::Backend backend = smt::Backend::Auto);
 
 }  // namespace advocat::deadlock

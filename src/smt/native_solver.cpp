@@ -1,0 +1,877 @@
+// In-tree DPLL(T) solver for the bounded linear-integer encodings.
+// See native_solver.hpp for the algorithm overview.
+#include "smt/native_solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace advocat::smt {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kPosInf = std::numeric_limits<std::int64_t>::max();
+// Derived bounds are clamped strictly inside the sentinels.
+constexpr std::int64_t kBoundClamp = std::int64_t{1} << 60;
+// Finite window probed for variables the constraints never bounded; an
+// exhausted probe degrades Unsat to Unknown (Sat stays exact). Small on
+// purpose: genuinely free variables (flow circulations) are either pinned
+// by equality propagation or accept their lower bound, so wide windows
+// only slow refutation down.
+constexpr std::int64_t kUnboundedProbes = 4;
+// Branch-and-bound node budget per boolean leaf; an exhausted budget
+// degrades the leaf to Unknown so one pathological leaf cannot stall the
+// whole search.
+constexpr std::uint64_t kIntNodeBudget = 50'000;
+// Widest finite domain enumerated exhaustively before the same degradation.
+constexpr std::int64_t kEnumWindow = 1 << 16;
+
+// Literal encoding: variable v -> positive literal 2v, negated 2v+1.
+using Lit = std::int32_t;
+inline Lit mk_lit(int v, bool negated) {
+  return static_cast<Lit>(2 * v + (negated ? 1 : 0));
+}
+inline Lit neg(Lit l) { return l ^ 1; }
+inline int var_of(Lit l) { return l >> 1; }
+inline bool is_neg(Lit l) { return (l & 1) != 0; }
+
+enum Val : std::int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+// Σ terms ≤ bound over integer-variable indices.
+struct StaticRow {
+  std::vector<std::pair<int, std::int64_t>> terms;
+  std::int64_t bound = 0;
+};
+
+struct Atom {
+  std::vector<std::pair<int, std::int64_t>> terms;
+  std::int64_t bound = 0;
+  bool is_eq = false;
+  std::vector<StaticRow> when_true;   // Le: {≤}; Eq: {≤, ≥}
+  std::vector<StaticRow> when_false;  // Le: {>}; Eq: empty (disequality)
+};
+
+struct Timeout {};
+
+// floor(a / b) for b > 0, exact in __int128.
+__int128 floor_div(__int128 a, std::int64_t b) {
+  __int128 q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+
+class NativeSolver final : public Solver {
+ public:
+  explicit NativeSolver(const ExprFactory& factory) : f_(factory) {
+    true_var_ = new_bvar();
+    unit_lits_.push_back(mk_lit(true_var_, false));
+  }
+
+  void add(ExprId assertion) override { roots_.push_back(assertion); }
+
+  SatResult check(unsigned timeout_ms) override {
+    deadline_active_ = timeout_ms > 0;
+    if (deadline_active_) {
+      deadline_ = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    }
+    ops_ = 0;
+    stat_decisions_ = stat_conflicts_ = stat_leaves_ = stat_int_nodes_ = 0;
+    SatResult result;
+    try {
+      result = run_check();
+    } catch (const Timeout&) {
+      result = SatResult::Unknown;
+    }
+    if (std::getenv("ADVOCAT_NATIVE_STATS") != nullptr) {
+      std::fprintf(stderr,
+                   "[native] %s: %llu decisions, %llu conflicts, %llu leaves, "
+                   "%llu int nodes, %d bool vars, %zu atoms, %zu clauses\n",
+                   smt::to_string(result),
+                   static_cast<unsigned long long>(stat_decisions_),
+                   static_cast<unsigned long long>(stat_conflicts_),
+                   static_cast<unsigned long long>(stat_leaves_),
+                   static_cast<unsigned long long>(stat_int_nodes_),
+                   num_bvars_, atoms_.size(), clauses_.size());
+    }
+    return result;
+  }
+
+  [[nodiscard]] const Model& model() const override { return model_; }
+
+ private:
+  // ------------------------------------------------------------ translation
+
+  int new_bvar() {
+    atom_of_var_.push_back(-1);
+    return num_bvars_++;
+  }
+
+  int int_var(ExprId id, const std::string& name) {
+    auto it = int_index_.find(id);
+    if (it != int_index_.end()) return it->second;
+    const int v = static_cast<int>(int_names_.size());
+    int_names_.push_back(name);
+    int_index_.emplace(id, v);
+    return v;
+  }
+
+  void add_clause(std::vector<Lit> c) {
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+      if (c[i + 1] == (c[i] ^ 1)) return;  // tautology: l and ¬l adjacent
+    }
+    if (c.empty()) {
+      trivially_unsat_ = true;
+    } else if (c.size() == 1) {
+      unit_lits_.push_back(c[0]);
+    } else {
+      clauses_.push_back(std::move(c));
+    }
+  }
+
+  void linearize(ExprId id, std::int64_t scale,
+                 std::map<int, std::int64_t>& coeffs, std::int64_t& constant) {
+    const Node& n = f_.node(id);
+    switch (n.op) {
+      case Op::IntConst: constant += scale * n.value; break;
+      case Op::IntVar: coeffs[int_var(id, n.name)] += scale; break;
+      case Op::Add:
+        for (ExprId k : n.kids) linearize(k, scale, coeffs, constant);
+        break;
+      case Op::MulConst: linearize(n.kids[0], scale * n.value, coeffs, constant); break;
+      default:
+        throw std::logic_error("native solver: expected integer expression");
+    }
+  }
+
+  Lit translate_atom(const Node& n) {
+    std::map<int, std::int64_t> coeffs;
+    std::int64_t constant = 0;
+    linearize(n.kids[0], 1, coeffs, constant);
+    linearize(n.kids[1], -1, coeffs, constant);
+
+    Atom a;
+    a.is_eq = n.op == Op::Eq;
+    for (const auto& [v, c] : coeffs) {
+      if (c != 0) a.terms.emplace_back(v, c);
+    }
+    a.bound = -constant;
+    if (a.terms.empty()) {
+      const bool truth = a.is_eq ? (a.bound == 0) : (0 <= a.bound);
+      return mk_lit(true_var_, !truth);
+    }
+    if (a.is_eq && a.terms[0].second < 0) {  // canonical sign for dedup
+      for (auto& t : a.terms) t.second = -t.second;
+      a.bound = -a.bound;
+    }
+    std::string key(a.is_eq ? "=" : "<");
+    for (const auto& [v, c] : a.terms) {
+      key += std::to_string(v) + "*" + std::to_string(c) + ",";
+    }
+    key += std::to_string(a.bound);
+    auto it = atom_index_.find(key);
+    if (it != atom_index_.end()) return mk_lit(it->second, false);
+
+    const StaticRow le{a.terms, a.bound};
+    StaticRow flipped;
+    flipped.terms = a.terms;
+    for (auto& t : flipped.terms) t.second = -t.second;
+    if (a.is_eq) {
+      flipped.bound = -a.bound;
+      a.when_true = {le, flipped};  // when_false stays empty: disequality
+    } else {
+      flipped.bound = -a.bound - 1;  // ¬(Σ ≤ b)  ⇔  -Σ ≤ -b-1
+      a.when_true = {le};
+      a.when_false = {flipped};
+    }
+    const int v = new_bvar();
+    const int ai = static_cast<int>(atoms_.size());
+    atom_of_var_[v] = ai;
+    atom_var_.push_back(v);
+    for (const auto& [iv, c] : a.terms) {
+      (void)c;
+      if (static_cast<std::size_t>(iv) >= atom_occ_.size()) {
+        atom_occ_.resize(static_cast<std::size_t>(iv) + 1);
+      }
+      atom_occ_[static_cast<std::size_t>(iv)].push_back(ai);
+    }
+    atoms_.push_back(std::move(a));
+    atom_index_.emplace(std::move(key), v);
+    return mk_lit(v, false);
+  }
+
+  Lit translate_bool(ExprId id) {
+    auto memo = lit_memo_.find(id);
+    if (memo != lit_memo_.end()) return memo->second;
+    const Node& n = f_.node(id);
+    Lit res = 0;
+    switch (n.op) {
+      case Op::BoolConst: res = mk_lit(true_var_, n.value == 0); break;
+      case Op::BoolVar: {
+        const int v = new_bvar();
+        named_bools_.emplace_back(v, n.name);
+        res = mk_lit(v, false);
+        break;
+      }
+      case Op::Not: res = neg(translate_bool(n.kids[0])); break;
+      case Op::And: {
+        const Lit g = mk_lit(new_bvar(), false);
+        std::vector<Lit> big{g};
+        for (ExprId kid : n.kids) {
+          const Lit k = translate_bool(kid);
+          add_clause({neg(g), k});
+          big.push_back(neg(k));
+        }
+        add_clause(std::move(big));
+        res = g;
+        break;
+      }
+      case Op::Or: {
+        const Lit g = mk_lit(new_bvar(), false);
+        std::vector<Lit> big{neg(g)};
+        for (ExprId kid : n.kids) {
+          const Lit k = translate_bool(kid);
+          add_clause({g, neg(k)});
+          big.push_back(k);
+        }
+        add_clause(std::move(big));
+        res = g;
+        break;
+      }
+      case Op::Implies: {
+        const Lit a = translate_bool(n.kids[0]);
+        const Lit b = translate_bool(n.kids[1]);
+        const Lit g = mk_lit(new_bvar(), false);  // g ↔ (¬a ∨ b)
+        add_clause({neg(g), neg(a), b});
+        add_clause({g, a});
+        add_clause({g, neg(b)});
+        res = g;
+        break;
+      }
+      case Op::Iff: {
+        const Lit a = translate_bool(n.kids[0]);
+        const Lit b = translate_bool(n.kids[1]);
+        const Lit g = mk_lit(new_bvar(), false);  // g ↔ (a ↔ b)
+        add_clause({neg(g), neg(a), b});
+        add_clause({neg(g), a, neg(b)});
+        add_clause({g, a, b});
+        add_clause({g, neg(a), neg(b)});
+        res = g;
+        break;
+      }
+      case Op::Eq:
+      case Op::Le:
+        res = translate_atom(n);
+        break;
+      default:
+        throw std::logic_error("native solver: expected boolean expression");
+    }
+    lit_memo_.emplace(id, res);
+    return res;
+  }
+
+  // ----------------------------------------------------------------- search
+
+  void bump_ops() {
+    if (deadline_active_ && (++ops_ & 0xfff) == 0 && Clock::now() > deadline_) {
+      throw Timeout{};
+    }
+  }
+
+  [[nodiscard]] Val value_lit(Lit l) const {
+    const Val v = assign_[static_cast<std::size_t>(var_of(l))];
+    if (v == kUndef) return kUndef;
+    return is_neg(l) ? (v == kTrue ? kFalse : kTrue) : v;
+  }
+
+  bool enqueue(Lit l) {
+    const int v = var_of(l);
+    const Val want = is_neg(l) ? kFalse : kTrue;
+    const Val cur = assign_[static_cast<std::size_t>(v)];
+    if (cur != kUndef) return cur == want;
+    assign_[static_cast<std::size_t>(v)] = want;
+    trail_.push_back(l);
+    return true;
+  }
+
+  bool propagate_bool() {
+    while (qhead_ < trail_.size()) {
+      bump_ops();
+      const Lit l = trail_[qhead_++];
+      const Lit fl = neg(l);
+      auto& ws = watches_[static_cast<std::size_t>(fl)];
+      std::size_t i = 0;
+      std::size_t keep = 0;
+      bool conflict = false;
+      while (i < ws.size()) {
+        const int ci = ws[i];
+        auto& c = clauses_[static_cast<std::size_t>(ci)];
+        if (c[0] == fl) std::swap(c[0], c[1]);
+        if (value_lit(c[0]) == kTrue) {  // clause already satisfied
+          ws[keep++] = ws[i++];
+          continue;
+        }
+        bool moved = false;
+        for (std::size_t k = 2; k < c.size(); ++k) {
+          if (value_lit(c[k]) != kFalse) {
+            std::swap(c[1], c[k]);
+            watches_[static_cast<std::size_t>(c[1])].push_back(ci);
+            moved = true;
+            break;
+          }
+        }
+        if (moved) {
+          ++i;  // watch migrated away from fl
+          continue;
+        }
+        if (!enqueue(c[0])) {  // unit clause contradicted
+          conflict = true;
+          while (i < ws.size()) ws[keep++] = ws[i++];
+          break;
+        }
+        ws[keep++] = ws[i++];
+      }
+      ws.resize(keep);
+      if (conflict) return true;
+    }
+    return false;
+  }
+
+  // Undo entries are deduplicated per era (one per variable side between
+  // two restore points): interval propagation on an infeasible integer
+  // cycle can walk a bound by 1 for billions of steps, and logging every
+  // step would exhaust memory long before the tightening budget triggers.
+  void set_bound(int v, bool is_hi, std::int64_t val) {
+    auto& slot = is_hi ? hi_[static_cast<std::size_t>(v)]
+                       : lo_[static_cast<std::size_t>(v)];
+    auto& stamp = is_hi ? hi_stamp_[static_cast<std::size_t>(v)]
+                        : lo_stamp_[static_cast<std::size_t>(v)];
+    if (stamp != undo_era_) {
+      stamp = undo_era_;
+      undo_.emplace_back(v, is_hi, slot);
+    }
+    slot = val;
+    if (dirty_stamp_[static_cast<std::size_t>(v)] != dirty_gen_) {
+      dirty_stamp_[static_cast<std::size_t>(v)] = dirty_gen_;
+      dirty_vars_.push_back(v);
+    }
+  }
+
+  void undo_to(std::size_t mark) {
+    while (undo_.size() > mark) {
+      const auto& [v, is_hi, old] = undo_.back();
+      (is_hi ? hi_[static_cast<std::size_t>(v)]
+             : lo_[static_cast<std::size_t>(v)]) = old;
+      undo_.pop_back();
+    }
+    ++undo_era_;  // stamps from before the restore are no longer valid
+  }
+
+  void activate_row(const StaticRow* r) {
+    const int ri = static_cast<int>(active_rows_.size());
+    active_rows_.push_back(r);
+    for (const auto& [v, c] : r->terms) {
+      (void)c;
+      row_occ_[static_cast<std::size_t>(v)].push_back(ri);
+    }
+    row_work_.push_back(ri);
+  }
+
+  void deactivate_rows_to(std::size_t mark) {
+    while (active_rows_.size() > mark) {
+      const StaticRow* r = active_rows_.back();
+      for (const auto& [v, c] : r->terms) {
+        (void)c;
+        row_occ_[static_cast<std::size_t>(v)].pop_back();
+      }
+      active_rows_.pop_back();
+    }
+  }
+
+  /// Interval tightening to fixpoint over the worklist; true on conflict.
+  /// Bounded: an infeasible integer cycle makes the fixpoint walk bounds
+  /// one unit per lap (no finite convergence), so refinement stops after a
+  /// budget proportional to the active system — sound, merely less
+  /// pruning, and the leaf search degrades the verdict to Unknown.
+  bool propagate_rows() {
+    std::uint64_t budget = 64 * active_rows_.size() + 1024;
+    while (!row_work_.empty()) {
+      if (budget == 0) {
+        row_work_.clear();
+        return false;
+      }
+      bump_ops();
+      const int ri = row_work_.back();
+      row_work_.pop_back();
+      const StaticRow& r = *active_rows_[static_cast<std::size_t>(ri)];
+
+      __int128 minsum = 0;
+      int ninf = 0;
+      for (const auto& [v, c] : r.terms) {
+        const std::int64_t b =
+            c > 0 ? lo_[static_cast<std::size_t>(v)] : hi_[static_cast<std::size_t>(v)];
+        if (b == kNegInf || b == kPosInf) ++ninf;
+        else minsum += static_cast<__int128>(c) * b;
+      }
+      if (ninf == 0 && minsum > r.bound) {
+        row_work_.clear();
+        return true;
+      }
+      for (const auto& [v, c] : r.terms) {
+        const std::int64_t b =
+            c > 0 ? lo_[static_cast<std::size_t>(v)] : hi_[static_cast<std::size_t>(v)];
+        const bool self_inf = (b == kNegInf || b == kPosInf);
+        if (ninf - (self_inf ? 1 : 0) > 0) continue;  // another var unbounded
+        const __int128 rest =
+            self_inf ? minsum : minsum - static_cast<__int128>(c) * b;
+        const __int128 slack = static_cast<__int128>(r.bound) - rest;
+        // Derived bounds are clamped only toward looseness: a bound beyond
+        // +/-kBoundClamp is either dropped (no information) or relaxed to
+        // the clamp, never tightened past what the row entails — claiming
+        // a tighter bound than entailed could turn Sat into Unsat.
+        bool changed = false;
+        if (c > 0) {  // c·v ≤ slack  →  v ≤ ⌊slack/c⌋
+          const __int128 nb = floor_div(slack, c);
+          if (nb <= kBoundClamp && nb < hi_[static_cast<std::size_t>(v)]) {
+            set_bound(v, true,
+                      nb < -kBoundClamp ? -kBoundClamp
+                                        : static_cast<std::int64_t>(nb));
+            changed = true;
+          }
+        } else {  // c·v ≤ slack, c<0  →  v ≥ ⌈slack/c⌉ = -⌊slack/(-c)⌋
+          const __int128 nb = -floor_div(slack, -c);
+          if (nb >= -kBoundClamp && nb > lo_[static_cast<std::size_t>(v)]) {
+            set_bound(v, false,
+                      nb > kBoundClamp ? kBoundClamp
+                                       : static_cast<std::int64_t>(nb));
+            changed = true;
+          }
+        }
+        if (changed) {
+          --budget;
+          if (lo_[static_cast<std::size_t>(v)] > hi_[static_cast<std::size_t>(v)]) {
+            row_work_.clear();
+            return true;
+          }
+          for (int rj : row_occ_[static_cast<std::size_t>(v)]) {
+            row_work_.push_back(rj);
+          }
+          if (budget == 0) break;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Activates the theory rows of atoms assigned since the last call and
+  /// re-runs bounds propagation; true on conflict.
+  bool activate_theory() {
+    row_work_.clear();
+    for (; theory_head_ < trail_.size(); ++theory_head_) {
+      const Lit l = trail_[theory_head_];
+      const int v = var_of(l);
+      const int ai = atom_of_var_[static_cast<std::size_t>(v)];
+      if (ai < 0) continue;
+      const Atom& a = atoms_[static_cast<std::size_t>(ai)];
+      const bool tv = !is_neg(l);
+      for (const StaticRow& r : tv ? a.when_true : a.when_false) {
+        activate_row(&r);
+      }
+      if (a.is_eq && !tv) active_diseqs_.push_back(ai);
+    }
+    return propagate_rows();
+  }
+
+  /// Enqueues unassigned atom literals the current bounds entail; the
+  /// boolean search then never has to rediscover them by conflict. Only
+  /// atoms over variables whose bounds changed since the last scan are
+  /// re-evaluated (set_bound records them in dirty_vars_).
+  bool propagate_entailed_atoms() {
+    bool any = false;
+    scan_stamp_.resize(atoms_.size(), 0);
+    ++scan_gen_;
+    for (std::size_t at = 0; at < dirty_vars_.size(); ++at) {
+      const int iv = dirty_vars_[at];
+      if (static_cast<std::size_t>(iv) >= atom_occ_.size()) continue;
+      for (const int ai : atom_occ_[static_cast<std::size_t>(iv)]) {
+        if (scan_stamp_[static_cast<std::size_t>(ai)] == scan_gen_) continue;
+        scan_stamp_[static_cast<std::size_t>(ai)] = scan_gen_;
+        const int v = atom_var_[static_cast<std::size_t>(ai)];
+        if (assign_[static_cast<std::size_t>(v)] != kUndef) continue;
+        const Atom& a = atoms_[static_cast<std::size_t>(ai)];
+        int entailed = 0;  // +1 atom true, -1 atom false
+        if (!a.is_eq) {
+          entailed = row_status(a.when_true[0]);
+        } else {
+          const int s0 = row_status(a.when_true[0]);
+          const int s1 = row_status(a.when_true[1]);
+          if (s0 < 0 || s1 < 0) entailed = -1;
+          else if (s0 > 0 && s1 > 0) entailed = +1;
+        }
+        if (entailed != 0) {
+          const bool ok = enqueue(mk_lit(v, entailed < 0));
+          (void)ok;  // the variable was unassigned
+          any = true;
+        }
+      }
+    }
+    clear_dirty();
+    return any;
+  }
+
+  void clear_dirty() {
+    dirty_vars_.clear();
+    ++dirty_gen_;
+  }
+
+  bool propagate_all() {
+    for (;;) {
+      if (propagate_bool()) return true;
+      if (theory_head_ != trail_.size()) {
+        if (activate_theory()) return true;
+        continue;  // theory may tighten bounds; rescan atoms below
+      }
+      if (!propagate_entailed_atoms()) return false;
+    }
+  }
+
+  /// Entailment of an atom's ≤-row under the current bounds: +1 forced
+  /// true, -1 forced false, 0 open.
+  int row_status(const StaticRow& r) const {
+    __int128 minsum = 0, maxsum = 0;
+    int min_inf = 0, max_inf = 0;
+    for (const auto& [v, c] : r.terms) {
+      const std::int64_t lo = lo_[static_cast<std::size_t>(v)];
+      const std::int64_t hi = hi_[static_cast<std::size_t>(v)];
+      const std::int64_t toward_min = c > 0 ? lo : hi;
+      const std::int64_t toward_max = c > 0 ? hi : lo;
+      if (toward_min == kNegInf || toward_min == kPosInf) ++min_inf;
+      else minsum += static_cast<__int128>(c) * toward_min;
+      if (toward_max == kNegInf || toward_max == kPosInf) ++max_inf;
+      else maxsum += static_cast<__int128>(c) * toward_max;
+    }
+    if (min_inf == 0 && minsum > r.bound) return -1;
+    if (max_inf == 0 && maxsum <= r.bound) return +1;
+    return 0;
+  }
+
+  /// Phase for deciding an atom variable: follow what the bounds already
+  /// entail so the first branch is not an immediate theory conflict.
+  bool decide_phase_negated(int v) const {
+    const int ai = atom_of_var_[static_cast<std::size_t>(v)];
+    if (ai < 0) return true;  // plain boolean: try "false" first
+    const Atom& a = atoms_[static_cast<std::size_t>(ai)];
+    if (!a.is_eq) {
+      const int s = row_status(a.when_true[0]);
+      if (s != 0) return s < 0;
+      return true;
+    }
+    // Equality: forced false when the bound lies outside [min, max] of
+    // either direction; forced true only when both rows are entailed.
+    const int s0 = row_status(a.when_true[0]);
+    const int s1 = row_status(a.when_true[1]);
+    if (s0 < 0 || s1 < 0) return true;
+    if (s0 > 0 && s1 > 0) return false;
+    return true;
+  }
+
+  struct LevelMark {
+    Lit decision;
+    std::size_t trail, rows, diseqs, undo;
+    int cursor;
+  };
+
+  void push_level(Lit decision) {
+    ++undo_era_;
+    levels_.push_back(LevelMark{decision, trail_.size(), active_rows_.size(),
+                                active_diseqs_.size(), undo_.size(), cursor_});
+    const bool ok = enqueue(decision);
+    (void)ok;  // the decision variable is unassigned by construction
+  }
+
+  void backtrack_flip() {
+    const LevelMark mark = levels_.back();
+    levels_.pop_back();
+    while (trail_.size() > mark.trail) {
+      assign_[static_cast<std::size_t>(var_of(trail_.back()))] = kUndef;
+      trail_.pop_back();
+    }
+    qhead_ = mark.trail;
+    theory_head_ = mark.trail;
+    deactivate_rows_to(mark.rows);
+    active_diseqs_.resize(mark.diseqs);
+    undo_to(mark.undo);
+    row_work_.clear();
+    clear_dirty();  // loosened bounds cannot newly entail anything
+    cursor_ = mark.cursor;
+    const bool ok = enqueue(neg(mark.decision));
+    (void)ok;  // unassigned after the pop
+  }
+
+  int next_unassigned() {
+    while (cursor_ < num_bvars_ &&
+           assign_[static_cast<std::size_t>(cursor_)] != kUndef) {
+      ++cursor_;
+    }
+    return cursor_ < num_bvars_ ? cursor_ : -1;
+  }
+
+  void capture_model() {
+    model_ = Model();
+    for (const auto& [v, name] : named_bools_) {
+      if (assign_[static_cast<std::size_t>(v)] != kUndef) {
+        model_.set_bool(name, assign_[static_cast<std::size_t>(v)] == kTrue);
+      }
+    }
+    for (std::size_t v = 0; v < int_names_.size(); ++v) {
+      if (lo_[v] != kNegInf && lo_[v] == hi_[v]) {
+        model_.set_int(int_names_[v], lo_[v]);
+      }
+    }
+  }
+
+  /// Branch-and-bound completion of the integer domains at a full boolean
+  /// assignment. Sat captures the model before returning.
+  SatResult int_branch(const std::vector<int>& branch_vars) {
+    bump_ops();
+    ++stat_int_nodes_;
+    if (int_budget_ == 0) return SatResult::Unknown;
+    --int_budget_;
+    int best = -1;
+    std::int64_t best_width = kPosInf;
+    for (int v : branch_vars) {
+      const std::int64_t lo = lo_[static_cast<std::size_t>(v)];
+      const std::int64_t hi = hi_[static_cast<std::size_t>(v)];
+      if (lo == hi) continue;
+      const std::int64_t width =
+          (lo == kNegInf || hi == kPosInf) ? kPosInf - 1 : hi - lo;
+      if (width < best_width) {
+        best_width = width;
+        best = v;
+      }
+    }
+    if (best < 0) {  // every constrained variable is fixed
+      for (int ai : active_diseqs_) {
+        const Atom& a = atoms_[static_cast<std::size_t>(ai)];
+        __int128 sum = 0;
+        for (const auto& [v, c] : a.terms) {
+          sum += static_cast<__int128>(c) * lo_[static_cast<std::size_t>(v)];
+        }
+        if (sum == a.bound) return SatResult::Unsat;  // disequality violated
+      }
+      capture_model();
+      return SatResult::Sat;
+    }
+
+    const std::int64_t lo = lo_[static_cast<std::size_t>(best)];
+    const std::int64_t hi = hi_[static_cast<std::size_t>(best)];
+    std::vector<std::int64_t> values;
+    bool artificial = false;
+    if (lo != kNegInf && hi != kPosInf && hi - lo <= kEnumWindow) {
+      // Descending: deadlock candidates live at high occupancy, and fuller
+      // queues make more informative witnesses.
+      for (std::int64_t x = hi; x >= lo; --x) values.push_back(x);
+    } else if (lo != kNegInf) {
+      artificial = true;
+      for (std::int64_t x = lo; x < lo + kUnboundedProbes; ++x) values.push_back(x);
+    } else if (hi != kPosInf) {
+      artificial = true;
+      for (std::int64_t x = hi; x > hi - kUnboundedProbes; --x) values.push_back(x);
+    } else {
+      artificial = true;
+      values.push_back(0);
+      for (std::int64_t x = 1; x <= kUnboundedProbes / 2; ++x) {
+        values.push_back(x);
+        values.push_back(-x);
+      }
+    }
+
+    bool unknown = false;
+    for (const std::int64_t val : values) {
+      const std::size_t mark = undo_.size();
+      ++undo_era_;
+      set_bound(best, false, val);
+      set_bound(best, true, val);
+      row_work_.clear();
+      for (int rj : row_occ_[static_cast<std::size_t>(best)]) {
+        row_work_.push_back(rj);
+      }
+      if (!propagate_rows()) {
+        const SatResult r = int_branch(branch_vars);
+        if (r == SatResult::Sat) {
+          undo_to(mark);
+          return SatResult::Sat;
+        }
+        if (r == SatResult::Unknown) unknown = true;
+      }
+      undo_to(mark);
+    }
+    if (artificial) unknown = true;
+    return unknown ? SatResult::Unknown : SatResult::Unsat;
+  }
+
+  SatResult int_complete() {
+    std::vector<int> branch_vars;
+    std::vector<char> seen(int_names_.size(), 0);
+    auto mark_var = [&](int v) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        branch_vars.push_back(v);
+      }
+    };
+    for (const StaticRow* r : active_rows_) {
+      for (const auto& [v, c] : r->terms) {
+        (void)c;
+        mark_var(v);
+      }
+    }
+    for (int ai : active_diseqs_) {
+      for (const auto& [v, c] : atoms_[static_cast<std::size_t>(ai)].terms) {
+        (void)c;
+        mark_var(v);
+      }
+    }
+    const std::size_t mark = undo_.size();
+    ++undo_era_;
+    int_budget_ = kIntNodeBudget;
+    const SatResult r = int_branch(branch_vars);
+    if (r != SatResult::Sat) undo_to(mark);
+    return r;
+  }
+
+  void init_search() {
+    assign_.assign(static_cast<std::size_t>(num_bvars_), kUndef);
+    watches_.assign(static_cast<std::size_t>(2 * num_bvars_), {});
+    for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
+      const auto& c = clauses_[ci];
+      watches_[static_cast<std::size_t>(c[0])].push_back(static_cast<int>(ci));
+      watches_[static_cast<std::size_t>(c[1])].push_back(static_cast<int>(ci));
+    }
+    trail_.clear();
+    qhead_ = theory_head_ = 0;
+    levels_.clear();
+    lo_.assign(int_names_.size(), kNegInf);
+    hi_.assign(int_names_.size(), kPosInf);
+    lo_stamp_.assign(int_names_.size(), 0);
+    hi_stamp_.assign(int_names_.size(), 0);
+    undo_era_ = 1;
+    undo_.clear();
+    active_rows_.clear();
+    row_occ_.assign(int_names_.size(), {});
+    active_diseqs_.clear();
+    row_work_.clear();
+    dirty_stamp_.assign(int_names_.size(), 0);
+    dirty_vars_.clear();
+    dirty_gen_ = 1;
+    scan_stamp_.assign(atoms_.size(), 0);
+    scan_gen_ = 0;
+    cursor_ = 0;
+    saw_unknown_ = false;
+  }
+
+  SatResult run_check() {
+    for (; translated_roots_ < roots_.size(); ++translated_roots_) {
+      unit_lits_.push_back(translate_bool(roots_[translated_roots_]));
+    }
+    if (trivially_unsat_) return SatResult::Unsat;
+    init_search();
+    for (Lit l : unit_lits_) {
+      if (!enqueue(l)) return SatResult::Unsat;
+    }
+    for (;;) {
+      if (propagate_all()) {
+        ++stat_conflicts_;
+        if (levels_.empty()) {
+          return saw_unknown_ ? SatResult::Unknown : SatResult::Unsat;
+        }
+        backtrack_flip();
+        continue;
+      }
+      const int v = next_unassigned();
+      if (v >= 0) {
+        ++stat_decisions_;
+        push_level(mk_lit(v, decide_phase_negated(v)));
+        continue;
+      }
+      ++stat_leaves_;
+      const SatResult leaf = int_complete();
+      if (leaf == SatResult::Sat) return SatResult::Sat;
+      if (leaf == SatResult::Unknown) saw_unknown_ = true;
+      if (levels_.empty()) {
+        return saw_unknown_ ? SatResult::Unknown : SatResult::Unsat;
+      }
+      backtrack_flip();
+    }
+  }
+
+  const ExprFactory& f_;
+  Model model_;
+
+  // Translation state (persists across check() calls).
+  std::vector<ExprId> roots_;
+  std::size_t translated_roots_ = 0;
+  std::unordered_map<ExprId, Lit> lit_memo_;
+  int num_bvars_ = 0;
+  int true_var_ = -1;
+  std::vector<std::pair<int, std::string>> named_bools_;
+  std::unordered_map<ExprId, int> int_index_;
+  std::vector<std::string> int_names_;
+  std::vector<int> atom_of_var_;  // bool var -> atom index or -1
+  std::vector<int> atom_var_;     // atom index -> bool var
+  std::vector<std::vector<int>> atom_occ_;  // int var -> atom indices
+  std::vector<Atom> atoms_;
+  std::unordered_map<std::string, int> atom_index_;
+  std::vector<std::vector<Lit>> clauses_;
+  std::vector<Lit> unit_lits_;
+  bool trivially_unsat_ = false;
+
+  // Search state (rebuilt by init_search()).
+  std::vector<Val> assign_;
+  std::vector<std::vector<int>> watches_;  // literal -> watching clauses
+  std::vector<Lit> trail_;
+  std::size_t qhead_ = 0;
+  std::size_t theory_head_ = 0;
+  std::vector<LevelMark> levels_;
+  int cursor_ = 0;
+  std::vector<std::int64_t> lo_, hi_;
+  std::vector<std::uint64_t> lo_stamp_, hi_stamp_;
+  std::uint64_t undo_era_ = 1;
+  std::vector<std::tuple<int, bool, std::int64_t>> undo_;
+  std::vector<const StaticRow*> active_rows_;
+  std::vector<std::vector<int>> row_occ_;  // int var -> active row indices
+  std::vector<int> active_diseqs_;         // atom indices asserted ≠
+  std::vector<int> row_work_;
+  std::vector<int> dirty_vars_;  // int vars with bound changes to rescan
+  std::vector<std::uint64_t> dirty_stamp_;
+  std::uint64_t dirty_gen_ = 1;
+  std::vector<std::uint64_t> scan_stamp_;  // atom index -> last scan
+  std::uint64_t scan_gen_ = 0;
+  bool saw_unknown_ = false;
+  std::uint64_t int_budget_ = 0;
+
+  bool deadline_active_ = false;
+  Clock::time_point deadline_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t stat_decisions_ = 0, stat_conflicts_ = 0, stat_leaves_ = 0,
+                 stat_int_nodes_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> make_native_solver(const ExprFactory& factory) {
+  return std::make_unique<NativeSolver>(factory);
+}
+
+}  // namespace advocat::smt

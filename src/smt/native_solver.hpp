@@ -1,0 +1,35 @@
+// Portable in-tree SMT backend — no external solver dependency.
+//
+// The ADVOCAT encodings are boolean combinations of linear integer
+// constraints where every integer is bounded: queue occupancies by the
+// queue capacity, one-hot state indicators by 1, and the flow-completion
+// counters by the equalities tying them to occupancies. That makes a
+// small finite-domain solver sound and complete for them:
+//
+//   1. Tseitin-encode the boolean skeleton of the assertion DAG; each
+//      distinct linear atom (Σ c·x ≤ k, Σ c·x = k) becomes one
+//      propositional variable.
+//   2. DPLL over the skeleton: two-watched-literal unit propagation,
+//      chronological backtracking with decision flipping.
+//   3. Every assigned atom activates interval rows; bounds propagation
+//      runs to fixpoint after each boolean step and prunes on conflict.
+//   4. At a full boolean assignment, fail-first branch-and-bound over the
+//      remaining integer domains completes (or refutes) the assignment.
+//
+// When a variable is never bounded by the active constraints the solver
+// probes a finite window and degrades an exhausted search to Unknown
+// instead of claiming Unsat — Sat answers and models are always exact.
+#pragma once
+
+#include <memory>
+
+#include "smt/expr.hpp"
+#include "smt/solver.hpp"
+
+namespace advocat::smt {
+
+/// Creates the native solver over `factory`'s expressions. The factory
+/// must outlive the solver.
+std::unique_ptr<Solver> make_native_solver(const ExprFactory& factory);
+
+}  // namespace advocat::smt

@@ -1,7 +1,10 @@
 // Solver-facing interface.
 //
-// The default backend is Z3 (see z3_solver.hpp); to_smtlib() in
-// smtlib.hpp serializes the same assertions for external solvers.
+// Two interchangeable backends implement it: Z3 (z3_solver.cpp, compiled
+// only when libz3 is available) and the portable in-tree solver
+// (native_solver.cpp, always available). make_solver() picks one at
+// runtime; to_smtlib() in smtlib.hpp serializes the same assertions for
+// external solvers.
 #pragma once
 
 #include <cstdint>
@@ -54,8 +57,26 @@ class Solver {
   [[nodiscard]] virtual const Model& model() const = 0;
 };
 
+/// Selects the solver implementation behind make_solver().
+enum class Backend {
+  Auto,    ///< Z3 when compiled in, otherwise the native solver.
+  Native,  ///< In-tree DPLL + bounded-integer branch-and-bound.
+  Z3,      ///< libz3 (only when built with ADVOCAT_WITH_Z3).
+};
+
+[[nodiscard]] const char* to_string(Backend b);
+
+/// Whether `b` can actually be instantiated in this build.
+[[nodiscard]] bool backend_available(Backend b);
+
+/// Creates a solver over `factory`'s expressions. The factory must outlive
+/// the solver. Throws std::runtime_error for an unavailable backend.
+std::unique_ptr<Solver> make_solver(const ExprFactory& factory,
+                                    Backend backend = Backend::Auto);
+
 /// Creates the Z3-backed solver over `factory`'s expressions. The factory
-/// must outlive the solver.
+/// must outlive the solver. Throws std::runtime_error when this build has
+/// no Z3 support.
 std::unique_ptr<Solver> make_z3_solver(const ExprFactory& factory);
 
 }  // namespace advocat::smt

@@ -7,16 +7,6 @@
 
 namespace advocat::smt {
 
-std::int64_t Model::int_value(const std::string& name) const {
-  auto it = ints_.find(name);
-  return it == ints_.end() ? 0 : it->second;
-}
-
-bool Model::bool_value(const std::string& name) const {
-  auto it = bools_.find(name);
-  return it != bools_.end() && it->second;
-}
-
 namespace {
 
 class Z3Solver final : public Solver {

@@ -1,0 +1,36 @@
+// Backend-parameterized test fixture: suites derived from BackendTest run
+// once per available solver backend (always native, plus Z3 when this
+// build has it), so both solvers must agree on every verdict.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "smt/solver.hpp"
+
+namespace advocat::testing {
+
+inline std::vector<smt::Backend> solver_backends() {
+  std::vector<smt::Backend> out{smt::Backend::Native};
+  if (smt::backend_available(smt::Backend::Z3)) out.push_back(smt::Backend::Z3);
+  return out;
+}
+
+struct BackendName {
+  template <class ParamType>
+  std::string operator()(const ::testing::TestParamInfo<ParamType>& info) const {
+    return smt::to_string(info.param);
+  }
+};
+
+class BackendTest : public ::testing::TestWithParam<smt::Backend> {};
+
+#define ADVOCAT_INSTANTIATE_BACKENDS(fixture)                            \
+  INSTANTIATE_TEST_SUITE_P(                                              \
+      Backends, fixture,                                                 \
+      ::testing::ValuesIn(::advocat::testing::solver_backends()),        \
+      ::advocat::testing::BackendName{})
+
+}  // namespace advocat::testing

@@ -1,8 +1,10 @@
 // Block/idle deadlock encoder: primitive-level behaviour on small,
-// hand-analyzable networks.
+// hand-analyzable networks. Every solver-backed test runs on each
+// available backend; the verdicts must agree.
 #include <gtest/gtest.h>
 
 #include "automata/builder.hpp"
+#include "backend_fixture.hpp"
 #include "deadlock/checker.hpp"
 #include "deadlock/encoder.hpp"
 #include "smt/smtlib.hpp"
@@ -15,13 +17,17 @@ using xmas::ColorId;
 using xmas::Network;
 using xmas::PrimId;
 
-Report run(const Network& net) {
-  const xmas::Typing typing = xmas::Typing::derive(net);
-  smt::ExprFactory f;
-  return check(net, typing, f);
-}
+class Deadlock : public advocat::testing::BackendTest {
+ protected:
+  Report run(const Network& net) {
+    const xmas::Typing typing = xmas::Typing::derive(net);
+    smt::ExprFactory f;
+    return check(net, typing, f, {}, /*timeout_ms=*/0, GetParam());
+  }
+};
+ADVOCAT_INSTANTIATE_BACKENDS(Deadlock);
 
-TEST(Deadlock, FairPipelineIsFree) {
+TEST_P(Deadlock, FairPipelineIsFree) {
   Network net;
   const ColorId d = net.colors().intern("d");
   const PrimId q = net.add_queue("q", 2);
@@ -30,7 +36,7 @@ TEST(Deadlock, FairPipelineIsFree) {
   EXPECT_TRUE(run(net).deadlock_free());
 }
 
-TEST(Deadlock, DeadSinkBlocks) {
+TEST_P(Deadlock, DeadSinkBlocks) {
   Network net;
   const ColorId d = net.colors().intern("d");
   const PrimId q = net.add_queue("q", 2);
@@ -38,15 +44,20 @@ TEST(Deadlock, DeadSinkBlocks) {
   net.connect(q, 0, net.add_sink("sink", /*fair=*/false), 0);
   const Report r = run(net);
   ASSERT_FALSE(r.deadlock_free());
-  // Both the source and the queue report the stall.
-  bool source_fired = false;
+  // The stall is reported against the source or the queue in front of the
+  // dead sink. Which disjunct carries it is model-dependent (backends may
+  // return different witnesses), but one of the two must fire.
+  ASSERT_FALSE(r.fired.empty());
+  bool stall_reported = false;
   for (const auto& tag : r.fired) {
-    if (tag.rfind("source_blocked", 0) == 0) source_fired = true;
+    if (tag == "source_blocked:src" || tag == "packet_stuck:q") {
+      stall_reported = true;
+    }
   }
-  EXPECT_TRUE(source_fired);
+  EXPECT_TRUE(stall_reported);
 }
 
-TEST(Deadlock, ForkWithOneDeadBranchBlocks) {
+TEST_P(Deadlock, ForkWithOneDeadBranchBlocks) {
   Network net;
   const ColorId d = net.colors().intern("d");
   const PrimId fork = net.add_fork("fork");
@@ -60,7 +71,7 @@ TEST(Deadlock, ForkWithOneDeadBranchBlocks) {
   EXPECT_FALSE(run(net).deadlock_free());
 }
 
-TEST(Deadlock, JoinWithStarvedTokenBlocks) {
+TEST_P(Deadlock, JoinWithStarvedTokenBlocks) {
   Network net;
   const ColorId d = net.colors().intern("d");
   const ColorId t = net.colors().intern("t");
@@ -76,7 +87,7 @@ TEST(Deadlock, JoinWithStarvedTokenBlocks) {
   EXPECT_FALSE(run(net).deadlock_free());
 }
 
-TEST(Deadlock, JoinWithFairTokenIsFree) {
+TEST_P(Deadlock, JoinWithFairTokenIsFree) {
   Network net;
   const ColorId d = net.colors().intern("d");
   const ColorId t = net.colors().intern("t");
@@ -91,7 +102,7 @@ TEST(Deadlock, JoinWithFairTokenIsFree) {
   EXPECT_TRUE(run(net).deadlock_free());
 }
 
-TEST(Deadlock, SwitchRoutesAroundDeadBranch) {
+TEST_P(Deadlock, SwitchRoutesAroundDeadBranch) {
   // Only color a flows; the dead branch is never exercised, so the system
   // is free even though one sink is dead.
   Network net;
@@ -107,7 +118,7 @@ TEST(Deadlock, SwitchRoutesAroundDeadBranch) {
   EXPECT_TRUE(run(net).deadlock_free());
 }
 
-TEST(Deadlock, AutomatonRefusingAColorBlocks) {
+TEST_P(Deadlock, AutomatonRefusingAColorBlocks) {
   // An automaton that never consumes color b: a b-packet wedges the queue.
   Network net;
   const ColorId a = net.colors().intern("a");
@@ -123,7 +134,7 @@ TEST(Deadlock, AutomatonRefusingAColorBlocks) {
   EXPECT_FALSE(r.deadlock_free());
 }
 
-TEST(Deadlock, WitnessDecodingNamesQueuesAndStates) {
+TEST_P(Deadlock, WitnessDecodingNamesQueuesAndStates) {
   Network net;
   const ColorId d = net.colors().intern("d");
   const PrimId q = net.add_queue("wedged", 2);
@@ -136,7 +147,7 @@ TEST(Deadlock, WitnessDecodingNamesQueuesAndStates) {
   EXPECT_NE(r.to_string().find("deadlock candidate"), std::string::npos);
 }
 
-TEST(Deadlock, EncodingIsSerializableAsSmtLib) {
+TEST(DeadlockEncoding, IsSerializableAsSmtLib) {
   Network net;
   const ColorId d = net.colors().intern("d");
   const PrimId q = net.add_queue("q", 2);
@@ -154,7 +165,7 @@ TEST(Deadlock, EncodingIsSerializableAsSmtLib) {
 
 // Bag vs FIFO queue block equations: a bag with one consumable packet in a
 // full queue does not block its input; a FIFO might.
-TEST(Deadlock, BagQueueBlocksOnlyWhenAllStoredStuck) {
+TEST_P(Deadlock, BagQueueBlocksOnlyWhenAllStoredStuck) {
   for (bool fifo : {true, false}) {
     Network net;
     const ColorId a = net.colors().intern("a");

@@ -177,7 +177,7 @@ TEST(FlowCompletion, InitialStateSatisfiable) {
       f.eq(f.int_var(state_var_name(rx.net, 0, 1)), f.int_const(0)));
   constraints.push_back(
       f.eq(f.int_var(state_var_name(rx.net, 1, 1)), f.int_const(0)));
-  auto solver = smt::make_z3_solver(f);
+  auto solver = smt::make_solver(f);
   for (auto e : constraints) solver->add(e);
   EXPECT_EQ(solver->check(), smt::SatResult::Sat);
 }
@@ -185,6 +185,11 @@ TEST(FlowCompletion, InitialStateSatisfiable) {
 // And unsatisfiable for the state the paper proves unreachable: (s0, t1)
 // with empty queues (the invariant evaluates to -1 = 0).
 TEST(FlowCompletion, UnreachableStateRejected) {
+  if (!smt::backend_available(smt::Backend::Z3)) {
+    GTEST_SKIP() << "refuting an infeasible flow system needs the Z3 "
+                    "backend; the native solver's interval propagation "
+                    "diverges on it and degrades to Unknown (ROADMAP item)";
+  }
   testing::RunningExample rx;
   const xmas::Typing typing = xmas::Typing::derive(rx.net);
   smt::ExprFactory f;
@@ -201,7 +206,7 @@ TEST(FlowCompletion, UnreachableStateRejected) {
       f.eq(f.int_var(state_var_name(rx.net, 0, 1)), f.int_const(0)));
   constraints.push_back(
       f.eq(f.int_var(state_var_name(rx.net, 1, 0)), f.int_const(0)));
-  auto solver = smt::make_z3_solver(f);
+  auto solver = smt::make_solver(f);
   for (auto e : constraints) solver->add(e);
   EXPECT_EQ(solver->check(), smt::SatResult::Unsat);
 }

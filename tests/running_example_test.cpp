@@ -5,17 +5,23 @@
 #include <gtest/gtest.h>
 
 #include "advocat/verifier.hpp"
+#include "backend_fixture.hpp"
+#include "deadlock/encoder.hpp"
 #include "helpers.hpp"
 #include "invariants/generator.hpp"
 #include "linalg/eliminator.hpp"
 #include "sim/explorer.hpp"
 #include "sim/simulator.hpp"
+#include "smt/smtlib.hpp"
 #include "xmas/typing.hpp"
 
 namespace advocat {
 namespace {
 
 using testing::RunningExample;
+
+class RunningExampleBackend : public testing::BackendTest {};
+ADVOCAT_INSTANTIATE_BACKENDS(RunningExampleBackend);
 
 TEST(RunningExample, ValidatesAndTypes) {
   RunningExample rx;
@@ -78,18 +84,21 @@ TEST(RunningExample, FindsOneHotInvariants) {
 
 // Without invariants the block/idle query reports (unreachable) deadlock
 // candidates — the two candidates discussed in Section 3.
-TEST(RunningExample, WithoutInvariantsReportsCandidates) {
+TEST_P(RunningExampleBackend, WithoutInvariantsReportsCandidates) {
   RunningExample rx;
   core::VerifyOptions options;
   options.use_invariants = false;
+  options.backend = GetParam();
   const core::VerifyResult result = core::verify(rx.net, options);
   EXPECT_FALSE(result.deadlock_free());
 }
 
 // With cross-layer invariants the system is proven deadlock-free.
-TEST(RunningExample, WithInvariantsProvenDeadlockFree) {
+TEST_P(RunningExampleBackend, WithInvariantsProvenDeadlockFree) {
   RunningExample rx;
-  const core::VerifyResult result = core::verify(rx.net);
+  core::VerifyOptions options;
+  options.backend = GetParam();
+  const core::VerifyResult result = core::verify(rx.net, options);
   EXPECT_TRUE(result.deadlock_free()) << result.report.to_string();
 }
 
@@ -108,12 +117,36 @@ TEST(RunningExample, ExplicitStateAgreesNoDeadlock) {
 
 // Queue capacity does not matter for this protocol: it is self-limiting
 // (at most one packet in flight). Verify for several capacities.
-TEST(RunningExample, DeadlockFreeForAllCapacities) {
+TEST_P(RunningExampleBackend, DeadlockFreeForAllCapacities) {
+  core::VerifyOptions options;
+  options.backend = GetParam();
   for (std::size_t cap : {1u, 2u, 5u}) {
     RunningExample rx(cap, cap);
-    const core::VerifyResult result = core::verify(rx.net);
+    const core::VerifyResult result = core::verify(rx.net, options);
     EXPECT_TRUE(result.deadlock_free()) << "capacity " << cap;
   }
+}
+
+// The full block/idle encoding of the running example round-trips through
+// the SMT-LIB2 printer: every variable declared, well-formed framing, no
+// crash on the |quoted| occupancy/state names.
+TEST(RunningExample, EncodingRoundTripsThroughSmtLib) {
+  RunningExample rx;
+  const xmas::Typing typing = xmas::Typing::derive(rx.net);
+  smt::ExprFactory f;
+  deadlock::Encoder encoder(rx.net, typing, f);
+  const deadlock::Encoding enc = encoder.encode();
+  const std::string text = smt::to_smtlib(f, enc.all_assertions());
+  EXPECT_NE(text.find("(set-logic QF_LIA)"), std::string::npos);
+  EXPECT_NE(text.find("(check-sat)"), std::string::npos);
+  std::size_t declared = 0;
+  for (std::size_t at = text.find("(declare-const");
+       at != std::string::npos; at = text.find("(declare-const", at + 1)) {
+    ++declared;
+  }
+  EXPECT_EQ(declared, f.variables().size());
+  // Occupancy and state variable names need |...| quoting.
+  EXPECT_NE(text.find("|"), std::string::npos);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
-// Expression factory, SMT-LIB printing, evaluator, and the Z3 backend.
+// Expression factory, SMT-LIB printing, evaluator, and the solver
+// backends (native always; Z3 when compiled in — both must agree).
 #include <gtest/gtest.h>
 
+#include "backend_fixture.hpp"
 #include "smt/eval.hpp"
 #include "smt/expr.hpp"
 #include "smt/smtlib.hpp"
@@ -76,11 +78,30 @@ TEST(SmtLib, NegativeConstants) {
   EXPECT_NE(text.find("(- 5)"), std::string::npos);
 }
 
-TEST(Z3Solver, SatWithModel) {
+// Documented Model behavior: variables the solver left unconstrained
+// read as 0 / false, and explicitly set values win.
+TEST(Model, UnconstrainedVariablesReadAsZeroAndFalse) {
+  Model m;
+  EXPECT_EQ(m.int_value("never_mentioned"), 0);
+  EXPECT_FALSE(m.bool_value("never_mentioned"));
+  m.set_int("x", -7);
+  m.set_bool("p", true);
+  m.set_bool("q", false);
+  EXPECT_EQ(m.int_value("x"), -7);
+  EXPECT_TRUE(m.bool_value("p"));
+  EXPECT_FALSE(m.bool_value("q"));
+  EXPECT_EQ(m.ints().size(), 1u);
+  EXPECT_EQ(m.bools().size(), 2u);
+}
+
+class SolverBackend : public advocat::testing::BackendTest {};
+ADVOCAT_INSTANTIATE_BACKENDS(SolverBackend);
+
+TEST_P(SolverBackend, SatWithModel) {
   ExprFactory f;
   const ExprId x = f.int_var("x");
   const ExprId y = f.int_var("y");
-  auto solver = make_z3_solver(f);
+  auto solver = make_solver(f, GetParam());
   solver->add(f.eq(f.add({x, y}), f.int_const(7)));
   solver->add(f.le(f.int_const(3), x));
   solver->add(f.le(x, f.int_const(3)));
@@ -89,20 +110,20 @@ TEST(Z3Solver, SatWithModel) {
   EXPECT_EQ(solver->model().int_value("y"), 4);
 }
 
-TEST(Z3Solver, Unsat) {
+TEST_P(SolverBackend, Unsat) {
   ExprFactory f;
   const ExprId x = f.int_var("x");
-  auto solver = make_z3_solver(f);
+  auto solver = make_solver(f, GetParam());
   solver->add(f.le(x, f.int_const(1)));
   solver->add(f.le(f.int_const(2), x));
   EXPECT_EQ(solver->check(), SatResult::Unsat);
 }
 
-TEST(Z3Solver, BooleanStructure) {
+TEST_P(SolverBackend, BooleanStructure) {
   ExprFactory f;
   const ExprId p = f.bool_var("p");
   const ExprId q = f.bool_var("q");
-  auto solver = make_z3_solver(f);
+  auto solver = make_solver(f, GetParam());
   solver->add(f.iff(p, f.not_(q)));
   solver->add(p);
   ASSERT_EQ(solver->check(), SatResult::Sat);
@@ -110,13 +131,45 @@ TEST(Z3Solver, BooleanStructure) {
   EXPECT_FALSE(solver->model().bool_value("q"));
 }
 
-// Round-trip: every model returned by Z3 satisfies the asserted formula
-// under our reference evaluator.
-class Z3RoundTrip : public ::testing::TestWithParam<int> {};
-
-TEST_P(Z3RoundTrip, ModelSatisfiesAssertions) {
+TEST_P(SolverBackend, NegativeCoefficientsAndDisequalities) {
   ExprFactory f;
-  const int n = GetParam();
+  const ExprId x = f.int_var("x");
+  const ExprId y = f.int_var("y");
+  auto solver = make_solver(f, GetParam());
+  // 0 <= x,y <= 3, 2x - y = 4, x != 2  →  x = 3, y = 2.
+  solver->add(f.le(f.int_const(0), x));
+  solver->add(f.le(x, f.int_const(3)));
+  solver->add(f.le(f.int_const(0), y));
+  solver->add(f.le(y, f.int_const(3)));
+  solver->add(f.eq(f.add({f.mul_const(2, x), f.mul_const(-1, y)}),
+                   f.int_const(4)));
+  solver->add(f.not_(f.eq(x, f.int_const(2))));
+  ASSERT_EQ(solver->check(), SatResult::Sat);
+  EXPECT_EQ(solver->model().int_value("x"), 3);
+  EXPECT_EQ(solver->model().int_value("y"), 2);
+}
+
+TEST_P(SolverBackend, UnconstrainedVariableDefaultsToZeroInModel) {
+  ExprFactory f;
+  const ExprId x = f.int_var("x");
+  (void)f.int_var("free");   // declared, never asserted
+  (void)f.bool_var("loose");
+  auto solver = make_solver(f, GetParam());
+  solver->add(f.eq(x, f.int_const(5)));
+  ASSERT_EQ(solver->check(), SatResult::Sat);
+  EXPECT_EQ(solver->model().int_value("x"), 5);
+  EXPECT_EQ(solver->model().int_value("free"), 0);
+  EXPECT_FALSE(solver->model().bool_value("loose"));
+}
+
+// Round-trip: every model returned by a backend satisfies the asserted
+// formula under our reference evaluator.
+class SolverRoundTrip
+    : public ::testing::TestWithParam<std::tuple<Backend, int>> {};
+
+TEST_P(SolverRoundTrip, ModelSatisfiesAssertions) {
+  ExprFactory f;
+  const auto [backend, n] = GetParam();
   std::vector<ExprId> assertions;
   std::vector<ExprId> vars;
   for (int i = 0; i < n; ++i) {
@@ -125,7 +178,7 @@ TEST_P(Z3RoundTrip, ModelSatisfiesAssertions) {
     assertions.push_back(f.le(vars.back(), f.int_const(i + 1)));
   }
   assertions.push_back(f.eq(f.add(vars), f.int_const(n)));
-  auto solver = make_z3_solver(f);
+  auto solver = make_solver(f, backend);
   for (ExprId a : assertions) solver->add(a);
   ASSERT_EQ(solver->check(), SatResult::Sat);
   for (ExprId a : assertions) {
@@ -133,7 +186,15 @@ TEST_P(Z3RoundTrip, ModelSatisfiesAssertions) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Sizes, Z3RoundTrip, ::testing::Values(1, 3, 8, 20));
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SolverRoundTrip,
+    ::testing::Combine(
+        ::testing::ValuesIn(advocat::testing::solver_backends()),
+        ::testing::Values(1, 3, 8, 20)),
+    [](const ::testing::TestParamInfo<std::tuple<Backend, int>>& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace advocat::smt

@@ -7,6 +7,7 @@
 // (candidates on free systems) are allowed, missed deadlocks are not.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <random>
 
 #include "advocat/verifier.hpp"
@@ -127,13 +128,26 @@ Network random_network(std::mt19937_64& rng, bool* all_sources_fair) {
   return net;
 }
 
+// Rounds per seed. The default keeps one seed's runtime in CI to a few
+// hundred milliseconds; ADVOCAT_FUZZ_ROUNDS overrides for longer local
+// soaks. The rng is seeded from the test parameter only, so every run
+// (including --gtest_repeat) explores the identical network sequence.
+int fuzz_rounds() {
+  if (const char* env = std::getenv("ADVOCAT_FUZZ_ROUNDS")) {
+    const int rounds = std::atoi(env);
+    if (rounds > 0) return rounds;
+  }
+  return 12;
+}
+
 class SoundnessFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(SoundnessFuzz, NoMissedDeadlocks) {
   std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
   int free_verdicts = 0;
   int deadlock_verdicts = 0;
-  for (int round = 0; round < 12; ++round) {
+  const int rounds = fuzz_rounds();
+  for (int round = 0; round < rounds; ++round) {
     bool all_sources_fair = false;
     const Network net = random_network(rng, &all_sources_fair);
     ASSERT_TRUE(net.validate().empty());

@@ -1,22 +1,37 @@
-// End-to-end verifier and minimal-queue-size search.
+// End-to-end verifier and minimal-queue-size search, on every available
+// solver backend: native and Z3 must produce identical verdicts.
 #include <gtest/gtest.h>
 
 #include "advocat/verifier.hpp"
+#include "backend_fixture.hpp"
 #include "coherence/mi_abstract.hpp"
 #include "helpers.hpp"
 
 namespace advocat::core {
 namespace {
 
-TEST(Verifier, RejectsInvalidNetworks) {
+class Verifier : public advocat::testing::BackendTest {
+ protected:
+  VerifyOptions options() const {
+    VerifyOptions o;
+    o.backend = GetParam();
+    return o;
+  }
+};
+ADVOCAT_INSTANTIATE_BACKENDS(Verifier);
+
+class QueueSizing : public Verifier {};
+ADVOCAT_INSTANTIATE_BACKENDS(QueueSizing);
+
+TEST_P(Verifier, RejectsInvalidNetworks) {
   xmas::Network net;
   net.add_queue("dangling", 2);
-  EXPECT_THROW(verify(net), std::invalid_argument);
+  EXPECT_THROW(verify(net, options()), std::invalid_argument);
 }
 
-TEST(Verifier, ReportsStageTimings) {
+TEST_P(Verifier, ReportsStageTimings) {
   testing::RunningExample rx;
-  const VerifyResult r = verify(rx.net);
+  const VerifyResult r = verify(rx.net, options());
   EXPECT_TRUE(r.deadlock_free());
   EXPECT_GT(r.num_invariants, 0u);
   EXPECT_GE(r.total_seconds, 0.0);
@@ -24,25 +39,26 @@ TEST(Verifier, ReportsStageTimings) {
   EXPECT_NE(r.to_string().find("invariants:"), std::string::npos);
 }
 
-TEST(Verifier, InvariantsCanBeDisabled) {
+TEST_P(Verifier, InvariantsCanBeDisabled) {
   testing::RunningExample rx;
-  VerifyOptions options;
-  options.use_invariants = false;
-  const VerifyResult r = verify(rx.net, options);
+  VerifyOptions o = options();
+  o.use_invariants = false;
+  const VerifyResult r = verify(rx.net, o);
   EXPECT_EQ(r.num_invariants, 0u);
   EXPECT_FALSE(r.deadlock_free());  // candidates reappear
 }
 
-TEST(QueueSizing, FindsTheKnownBoundary) {
+TEST_P(QueueSizing, FindsTheKnownBoundary) {
   auto make = [](std::size_t cap) {
     coh::MiAbstractConfig config;
     config.queue_capacity = cap;
     return std::move(coh::build_mi_abstract(config).net);
   };
-  QueueSizingOptions options;
-  options.min_capacity = 1;
-  options.max_capacity = 16;
-  const QueueSizingResult r = find_minimal_queue_size(make, options);
+  QueueSizingOptions o;
+  o.min_capacity = 1;
+  o.max_capacity = 16;
+  o.verify = options();
+  const QueueSizingResult r = find_minimal_queue_size(make, o);
   EXPECT_EQ(r.minimal_capacity, 3u);  // the paper's 2x2 value
   // Probes must include a failing and a succeeding capacity.
   bool saw_bad = false;
@@ -57,7 +73,7 @@ TEST(QueueSizing, FindsTheKnownBoundary) {
   EXPECT_TRUE(saw_good);
 }
 
-TEST(QueueSizing, ReportsFailureWhenNothingFits) {
+TEST_P(QueueSizing, ReportsFailureWhenNothingFits) {
   // A dead sink deadlocks at every capacity.
   auto make = [](std::size_t cap) {
     xmas::Network net;
@@ -67,15 +83,16 @@ TEST(QueueSizing, ReportsFailureWhenNothingFits) {
     net.connect(q, 0, net.add_sink("sink", /*fair=*/false), 0);
     return net;
   };
-  QueueSizingOptions options;
-  options.min_capacity = 1;
-  options.max_capacity = 8;
-  const QueueSizingResult r = find_minimal_queue_size(make, options);
+  QueueSizingOptions o;
+  o.min_capacity = 1;
+  o.max_capacity = 8;
+  o.verify = options();
+  const QueueSizingResult r = find_minimal_queue_size(make, o);
   EXPECT_EQ(r.minimal_capacity, 0u);
   EXPECT_FALSE(r.probes.empty());
 }
 
-TEST(QueueSizing, TrivialSystemNeedsMinCapacity) {
+TEST_P(QueueSizing, TrivialSystemNeedsMinCapacity) {
   // A fair pipeline is free at any capacity: the minimum is min_capacity.
   auto make = [](std::size_t cap) {
     xmas::Network net;
@@ -85,10 +102,11 @@ TEST(QueueSizing, TrivialSystemNeedsMinCapacity) {
     net.connect(q, 0, net.add_sink("sink"), 0);
     return net;
   };
-  QueueSizingOptions options;
-  options.min_capacity = 2;
-  options.max_capacity = 8;
-  const QueueSizingResult r = find_minimal_queue_size(make, options);
+  QueueSizingOptions o;
+  o.min_capacity = 2;
+  o.max_capacity = 8;
+  o.verify = options();
+  const QueueSizingResult r = find_minimal_queue_size(make, o);
   EXPECT_EQ(r.minimal_capacity, 2u);
 }
 
