@@ -26,9 +26,16 @@ using Timer = util::Stopwatch;
 
 inline bool full_scale() { return std::getenv("ADVOCAT_FULL") != nullptr; }
 
+/// CI smoke mode (ADVOCAT_SMOKE=1): cap every harness to its smallest
+/// instances so a bench run finishes in seconds and still exercises the
+/// incremental paths end to end. Wins over ADVOCAT_FULL.
+inline bool smoke() { return std::getenv("ADVOCAT_SMOKE") != nullptr; }
+
 inline void header(const char* id, const char* what) {
   std::printf("=== %s: %s ===\n", id, what);
-  if (!full_scale()) {
+  if (smoke()) {
+    std::printf("(smoke mode: minimal instances for CI regression checks)\n");
+  } else if (!full_scale()) {
     std::printf("(reduced instance sizes; set ADVOCAT_FULL=1 for "
                 "paper-scale runs)\n");
   }

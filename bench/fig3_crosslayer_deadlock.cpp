@@ -31,6 +31,8 @@ int main() {
     bench::JsonLine("fig3_crosslayer_deadlock")
         .field("capacity", cap)
         .field("verdict", result.deadlock_free() ? "free" : "deadlock")
+        .field("encode_seconds", result.encode_seconds)
+        .field("solve_seconds", result.solve_seconds)
         .field("seconds", result.total_seconds)
         .print();
     if (!result.deadlock_free()) {

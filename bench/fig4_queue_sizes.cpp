@@ -6,6 +6,11 @@
 // row distance from the centre. Our model reproduces 3 (2x2) and the 4x4
 // values 23/15 exactly; the shape (monotone in mesh size and in the
 // directory row's distance from the centre) is the claim under test.
+//
+// Each sizing run is timed twice: on the incremental Verifier session
+// (validate/derive/encode once, one assumption flip per probe — the
+// default) and on the legacy re-encode-per-probe path, so the BENCH_JSON
+// trajectory records the incremental win on the same machine.
 #include <cstdio>
 
 #include "advocat/verifier.hpp"
@@ -16,7 +21,7 @@ using namespace advocat;
 
 namespace {
 
-std::size_t minimal_size(int k, int dir_node) {
+core::QueueSizingResult size_run(int k, int dir_node, bool incremental) {
   auto make = [k, dir_node](std::size_t cap) {
     coh::MiAbstractConfig config;
     config.width = k;
@@ -28,7 +33,8 @@ std::size_t minimal_size(int k, int dir_node) {
   core::QueueSizingOptions options;
   options.min_capacity = 1;
   options.max_capacity = 256;
-  return core::find_minimal_queue_size(make, options).minimal_capacity;
+  options.incremental = incremental;
+  return core::find_minimal_queue_size(make, options);
 }
 
 }  // namespace
@@ -36,24 +42,36 @@ std::size_t minimal_size(int k, int dir_node) {
 int main() {
   bench::header("E4 / Fig. 4", "minimal queue sizes found by ADVOCAT");
 
-  const int max_k = bench::full_scale() ? 5 : 4;
-  bench::Timer timer;
+  const int max_k = bench::smoke() ? 2 : (bench::full_scale() ? 5 : 4);
   for (int k = 2; k <= max_k; ++k) {
     std::printf("\n%dx%d mesh, minimal safe queue size per directory "
-                "position:\n",
+                "position (incremental vs re-encode seconds):\n",
                 k, k);
     for (int y = 0; y < k; ++y) {
       std::printf("  ");
       for (int x = 0; x < k; ++x) {
-        timer.reset();
-        const std::size_t size = minimal_size(k, y * k + x);
-        std::printf("%4zu", size);
+        const int dir = y * k + x;
+        const core::QueueSizingResult inc = size_run(k, dir, true);
+        const core::QueueSizingResult re = size_run(k, dir, false);
+        std::printf("%4zu", inc.minimal_capacity);
         bench::JsonLine("fig4_queue_sizes")
             .field("mesh", k)
-            .field("directory_node", y * k + x)
-            .field("minimal_capacity", size)
-            .field("seconds", timer.seconds())
+            .field("directory_node", dir)
+            .field("minimal_capacity", inc.minimal_capacity)
+            .field("minimal_capacity_reencode", re.minimal_capacity)
+            .field("probes", inc.probes.size())
+            .field("validations", inc.validations)
+            .field("invariant_generations", inc.invariant_generations)
+            .field("solver_checks", inc.solver_checks)
+            .field("seconds", inc.seconds)
+            .field("seconds_reencode", re.seconds)
             .print();
+        if (inc.minimal_capacity != re.minimal_capacity) {
+          std::printf("\nMISMATCH: incremental=%zu reencode=%zu at "
+                      "mesh=%d dir=%d\n",
+                      inc.minimal_capacity, re.minimal_capacity, k, dir);
+          return 1;
+        }
       }
       std::printf("\n");
     }

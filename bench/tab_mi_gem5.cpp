@@ -33,7 +33,7 @@ int main() {
     }
   }
 
-  const int max_k = bench::full_scale() ? 5 : 4;
+  const int max_k = bench::smoke() ? 2 : (bench::full_scale() ? 5 : 4);
   std::printf("\nminimal safe queue size and timing per mesh:\n");
   std::printf("%-6s %8s %14s %14s\n", "mesh", "min cap",
               "t_deadlock(s)", "t_proof(s)");
@@ -73,6 +73,10 @@ int main() {
     bench::JsonLine("tab_mi_gem5")
         .field("mesh", k)
         .field("minimal_capacity", sizing.minimal_capacity)
+        .field("sizing_probes", sizing.probes.size())
+        .field("sizing_solver_checks", sizing.solver_checks)
+        .field("sizing_incremental", sizing.incremental)
+        .field("sizing_seconds", sizing.seconds)
         .field("deadlock_seconds", t_deadlock)
         .field("proof_seconds", t_proof)
         .print();

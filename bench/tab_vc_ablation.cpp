@@ -17,7 +17,7 @@ using namespace advocat;
 int main() {
   bench::header("E7", "virtual-channel ablation");
 
-  const int k = bench::full_scale() ? 6 : 4;
+  const int k = bench::smoke() ? 2 : (bench::full_scale() ? 6 : 4);
   std::printf("\n%dx%d mesh, directory lower-right:\n", k, k);
   for (int vcs : {1, 2, 4}) {
     auto make = [k, vcs](std::size_t cap) {

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Collects the BENCH_JSON result trajectories from every built bench
+# harness into one JSON-lines file (see ROADMAP "Collect BENCH_*.json").
+#
+# Usage: scripts/collect_bench.sh <build-dir> [output-file]
+#
+# Environment:
+#   ADVOCAT_SMOKE=1  minimal instances (CI regression mode, seconds)
+#   ADVOCAT_FULL=1   paper-scale instances (hours)
+#
+# Exit status is non-zero when any harness fails, so CI fails fast on
+# incremental-path regressions (fig4 exits non-zero when the incremental
+# and re-encode paths disagree on a minimal capacity).
+set -eu
+
+build_dir=${1:?usage: collect_bench.sh <build-dir> [output-file]}
+out=${2:-BENCH_PR2.json}
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "collect_bench: no bench/ under $build_dir (built with ADVOCAT_BUILD_BENCH=ON?)" >&2
+  exit 2
+fi
+
+: > "$out"
+status=0
+for bench in "$build_dir"/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "== running $name" >&2
+  log=$(mktemp)
+  if ! "$bench" >"$log" 2>&1; then
+    echo "!! $name FAILED; last lines:" >&2
+    tail -n 20 "$log" >&2
+    status=1
+  fi
+  # Strip everything up to the marker so the output file is plain JSON
+  # lines, one per result. The marker is not always at column 0: harnesses
+  # that render tables emit it mid-line (e.g. fig4's grid cells).
+  sed -n "s/^.*BENCH_JSON //p" "$log" >> "$out"
+  rm -f "$log"
+done
+
+echo "collect_bench: wrote $(wc -l < "$out" | tr -d ' ') result lines to $out" >&2
+exit $status

@@ -1,12 +1,11 @@
 #include "advocat/verifier.hpp"
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
-#include "invariants/generator.hpp"
 #include "smt/expr.hpp"
 #include "util/stopwatch.hpp"
-#include "xmas/typing.hpp"
 
 namespace advocat::core {
 
@@ -16,15 +15,17 @@ std::string VerifyResult::to_string() const {
   os << "invariants: " << num_invariants << " equalities, "
      << num_inequalities << " inequalities\n";
   os << "time: typing " << typing_seconds << "s, invariants "
-     << invariant_seconds << "s, total " << total_seconds << "s\n";
+     << invariant_seconds << "s, encode " << encode_seconds << "s, solve "
+     << solve_seconds << "s, total " << total_seconds << "s\n";
   return os.str();
 }
 
-VerifyResult verify(const xmas::Network& net, const VerifyOptions& options) {
+Verifier::Verifier(xmas::Network net, VerifyOptions options)
+    : net_(std::move(net)), options_(options) {
   util::Stopwatch total;
-  VerifyResult result;
 
-  const std::vector<std::string> problems = net.validate();
+  const std::vector<std::string> problems = net_.validate();
+  ++stats_.validations;
   if (!problems.empty()) {
     std::string msg = "verify: invalid network:";
     for (const auto& p : problems) msg += "\n  " + p;
@@ -32,42 +33,293 @@ VerifyResult verify(const xmas::Network& net, const VerifyOptions& options) {
   }
 
   util::Stopwatch watch;
-  const xmas::Typing typing = xmas::Typing::derive(net);
-  result.typing_seconds = watch.seconds();
+  typing_ = xmas::Typing::derive(net_);
+  ++stats_.typings;
+  construct_typing_seconds_ = watch.seconds();
 
-  smt::ExprFactory factory;
-  std::vector<smt::ExprId> extra;
-  if (options.use_invariants) {
-    watch.reset();
-    inv::InvariantSet invariants =
-        inv::generate(net, typing, options.use_inequalities);
-    result.invariant_seconds = watch.seconds();
-    result.num_invariants = invariants.equalities.size();
-    result.num_inequalities = invariants.inequalities.size();
-    result.invariant_text = invariants.to_strings();
-    extra = invariants.to_smt(factory);
+  watch.reset();
+  deadlock::EncoderOptions eopts;
+  eopts.symbolic_capacities = options_.symbolic_capacities;
+  deadlock::Encoder encoder(net_, typing_, factory_, eopts);
+  enc_ = encoder.encode();
+  ++stats_.encodes;
+  construct_encode_seconds_ = watch.seconds();
+
+  solver_ = smt::make_solver(factory_, options_.backend);
+  if (options_.record_script) {
+    solver_ = smt::make_recording_solver(std::move(solver_), script_);
   }
-  if (options.use_flow_completion) {
-    const std::vector<smt::ExprId> flow =
-        inv::flow_completion_smt(net, typing, factory);
-    extra.insert(extra.end(), flow.begin(), flow.end());
+  for (smt::ExprId e : enc_.structural) solver_->add(e);
+  for (smt::ExprId e : enc_.definitions) solver_->add(e);
+  solver_->add(enc_.deadlock);
+
+  if (options_.use_invariants) ensure_invariants(options_.use_inequalities);
+  if (options_.use_flow_completion) ensure_flow_completion();
+
+  construct_seconds_ = total.seconds();
+}
+
+void Verifier::ensure_invariants(bool want_inequalities) {
+  if (!invariants_ready_) {
+    util::Stopwatch watch;
+    invariants_ = inv::generate(net_, typing_, want_inequalities);
+    invariant_seconds_ += watch.seconds();
+    ++stats_.invariant_generations;
+    const std::vector<smt::ExprId> smt = invariants_.to_smt(factory_);
+    inv_guard_ = factory_.bool_var("G[invariants]");
+    ineq_guard_ = factory_.bool_var("G[inequalities]");
+    for (std::size_t i = 0; i < smt.size(); ++i) {
+      const smt::ExprId guard =
+          i < invariants_.equalities.size() ? inv_guard_ : ineq_guard_;
+      solver_->add(factory_.implies(guard, smt[i]));
+    }
+    invariants_ready_ = true;
+    inequalities_ready_ = want_inequalities;
+    return;
+  }
+  if (want_inequalities && !inequalities_ready_) {
+    // The session was built without inequalities; derive the full set now
+    // and (re-)assert every row. Not just the ≤-rows: that would bake in
+    // the assumption that both generate() calls produce an identical
+    // equality prefix. Re-asserting instead is unconditionally sound —
+    // every generated row is a true invariant of (net, typing), so the
+    // union of both generations is valid — and rows identical to the
+    // first generation are hash-consed to the same ExprId, making their
+    // re-assertion free for the solver.
+    util::Stopwatch watch;
+    inv::InvariantSet with_ineqs = inv::generate(net_, typing_, true);
+    invariant_seconds_ += watch.seconds();
+    ++stats_.invariant_generations;
+    const std::vector<smt::ExprId> smt = with_ineqs.to_smt(factory_);
+    for (std::size_t i = 0; i < smt.size(); ++i) {
+      const smt::ExprId guard =
+          i < with_ineqs.equalities.size() ? inv_guard_ : ineq_guard_;
+      solver_->add(factory_.implies(guard, smt[i]));
+    }
+    invariants_ = std::move(with_ineqs);
+    inequalities_ready_ = true;
+  }
+}
+
+void Verifier::ensure_flow_completion() {
+  if (flow_ready_) return;
+  const std::vector<smt::ExprId> flow =
+      inv::flow_completion_smt(net_, typing_, factory_);
+  flow_guard_ = factory_.bool_var("G[flow_completion]");
+  for (smt::ExprId e : flow) {
+    solver_->add(factory_.implies(flow_guard_, e));
+  }
+  flow_ready_ = true;
+}
+
+VerifyResult Verifier::run_check(const CheckOverrides& o) {
+  util::Stopwatch watch;
+
+  const bool use_inv = o.use_invariants.value_or(options_.use_invariants);
+  const bool use_ineq =
+      o.use_inequalities.value_or(options_.use_inequalities);
+  const bool use_flow =
+      o.use_flow_completion.value_or(options_.use_flow_completion);
+  const unsigned timeout = o.timeout_ms.value_or(options_.timeout_ms);
+
+  if (!options_.symbolic_capacities &&
+      (o.uniform_capacity.has_value() || !o.queue_capacities.empty())) {
+    throw std::logic_error(
+        "Verifier: capacity overrides require "
+        "VerifyOptions::symbolic_capacities");
   }
 
-  result.report = deadlock::check(net, typing, factory, extra,
-                                  options.timeout_ms, options.backend);
-  result.total_seconds = total.seconds();
+  if (use_inv) ensure_invariants(use_ineq);
+  if (use_flow) ensure_flow_completion();
+
+  std::vector<smt::ExprId> assumptions;
+  if (use_inv) {
+    assumptions.push_back(inv_guard_);
+    if (use_ineq) assumptions.push_back(ineq_guard_);
+  }
+  if (use_flow) assumptions.push_back(flow_guard_);
+  // Capacity bindings: every symbolic capacity variable must be pinned per
+  // check, or the solver could pick capacities that fabricate candidates.
+  for (const auto& [qid, capvar] : enc_.capacity_vars) {
+    std::size_t k = net_.prim(qid).capacity;
+    if (o.uniform_capacity.has_value()) k = *o.uniform_capacity;
+    for (const auto& [oq, ok] : o.queue_capacities) {
+      if (oq == qid) {
+        k = ok;
+        break;
+      }
+    }
+    assumptions.push_back(
+        factory_.eq(capvar, factory_.int_const(static_cast<std::int64_t>(k))));
+  }
+  assumptions.insert(assumptions.end(), o.assumptions.begin(),
+                     o.assumptions.end());
+
+  VerifyResult result;
+  result.report.num_definitions = enc_.definitions.size();
+  result.report.encode_seconds = construct_encode_seconds_;
+
+  util::Stopwatch solve;
+  result.report.result = solver_->check_assuming(assumptions, timeout);
+  result.report.solve_seconds = solve.seconds();
+  ++stats_.checks;
+
+  if (result.report.result == smt::SatResult::Sat) {
+    deadlock::decode_witness(net_, typing_, factory_, enc_, solver_->model(),
+                             result.report);
+  }
+
+  if (use_inv) {
+    result.num_invariants = invariants_.equalities.size();
+    result.num_inequalities = use_ineq ? invariants_.inequalities.size() : 0;
+    result.invariant_text = invariants_.to_strings();
+  }
+  result.typing_seconds = construct_typing_seconds_;
+  result.invariant_seconds = invariant_seconds_;
+  result.encode_seconds = construct_encode_seconds_;
+  result.solve_seconds = result.report.solve_seconds;
+  result.total_seconds =
+      watch.seconds() + (construction_charged_ ? 0.0 : construct_seconds_);
+  construction_charged_ = true;
   return result;
 }
+
+VerifyResult Verifier::check() { return run_check(CheckOverrides{}); }
+
+VerifyResult Verifier::check_with(const CheckOverrides& overrides) {
+  return run_check(overrides);
+}
+
+VerifyResult Verifier::probe_capacity(std::size_t capacity) {
+  if (!options_.symbolic_capacities) {
+    throw std::logic_error(
+        "Verifier::probe_capacity requires VerifyOptions::symbolic_capacities");
+  }
+  CheckOverrides o;
+  o.uniform_capacity = capacity;
+  return run_check(o);
+}
+
+bool Verifier::probe_compatible(const xmas::Network& other) const {
+  if (other.num_prims() != net_.num_prims() ||
+      other.num_channels() != net_.num_channels() ||
+      other.automata().size() != net_.automata().size() ||
+      other.colors().size() != net_.colors().size()) {
+    return false;
+  }
+  for (xmas::ColorId c = 0;
+       c < static_cast<xmas::ColorId>(net_.colors().size()); ++c) {
+    if (!(other.colors().get(c) == net_.colors().get(c))) return false;
+  }
+  for (std::size_t i = 0; i < net_.prims().size(); ++i) {
+    const xmas::Primitive& a = net_.prims()[i];
+    const xmas::Primitive& b = other.prims()[i];
+    if (a.kind != b.kind || a.name != b.name || a.in.size() != b.in.size() ||
+        a.out.size() != b.out.size() || a.fifo != b.fifo ||
+        a.fair != b.fair || a.automaton != b.automaton ||
+        a.source_colors != b.source_colors) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < net_.channels().size(); ++i) {
+    const xmas::Channel& a = net_.channels()[i];
+    const xmas::Channel& b = other.channels()[i];
+    if (a.initiator != b.initiator || a.init_port != b.init_port ||
+        a.target != b.target || a.tgt_port != b.tgt_port) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < net_.automata().size(); ++i) {
+    const xmas::Automaton& a = net_.automata()[i];
+    const xmas::Automaton& b = other.automata()[i];
+    if (a.name != b.name || a.num_states() != b.num_states() ||
+        a.states != b.states || a.initial != b.initial ||
+        a.num_in != b.num_in || a.num_out != b.num_out ||
+        a.transitions.size() != b.transitions.size()) {
+      return false;
+    }
+    for (std::size_t t = 0; t < a.transitions.size(); ++t) {
+      if (a.transitions[t].from != b.transitions[t].from ||
+          a.transitions[t].to != b.transitions[t].to ||
+          a.transitions[t].label != b.transitions[t].label) {
+        return false;
+      }
+    }
+  }
+  // Function bodies (Function::func, Switch::route, transition guards and
+  // transforms) are std::function and cannot be compared directly; the
+  // derived per-channel color sets are a semantic fingerprint of them, so
+  // any behavioural drift that changes what flows where is caught here.
+  // A factory whose functions differ *without* moving any color remains
+  // the caller's responsibility (see QueueSizingOptions::incremental).
+  const xmas::Typing other_typing = xmas::Typing::derive(other);
+  if (other_typing.num_channels() != typing_.num_channels()) return false;
+  for (xmas::ChanId c = 0;
+       c < static_cast<xmas::ChanId>(typing_.num_channels()); ++c) {
+    if (other_typing.of(c) != typing_.of(c)) return false;
+  }
+  return true;
+}
+
+VerifyResult verify(const xmas::Network& net, const VerifyOptions& options) {
+  // Copies the network into the one-check session; that copy is noise
+  // next to encoding + solving, and keeps Verifier's ownership story
+  // simple (sessions always own their network).
+  Verifier session(net, options);
+  return session.check();
+}
+
+namespace {
+
+/// One-shot fallback probe (legacy path): rebuild and re-verify.
+bool probe_from_scratch(const xmas::Network& net, const VerifyOptions& vo,
+                        QueueSizingResult& result) {
+  const bool free = verify(net, vo).deadlock_free();
+  ++result.validations;
+  ++result.encodes;
+  ++result.solver_checks;
+  if (vo.use_invariants) ++result.invariant_generations;
+  return free;
+}
+
+}  // namespace
 
 QueueSizingResult find_minimal_queue_size(
     const std::function<xmas::Network(std::size_t)>& make_net,
     const QueueSizingOptions& options) {
   util::Stopwatch total;
   QueueSizingResult result;
+  result.incremental = options.incremental;
+
+  // The session is built once from the smallest instance; every probe then
+  // binds the capacities the candidate network would have via assumptions.
+  std::optional<Verifier> session;
+  if (options.incremental) {
+    VerifyOptions vo = options.verify;
+    vo.symbolic_capacities = true;
+    session.emplace(make_net(options.min_capacity), vo);
+  }
 
   auto probe = [&](std::size_t capacity) {
-    const xmas::Network net = make_net(capacity);
-    const bool free = verify(net, options.verify).deadlock_free();
+    bool free = false;
+    if (session.has_value()) {
+      xmas::Network candidate = make_net(capacity);
+      if (session->probe_compatible(candidate)) {
+        CheckOverrides o;
+        for (xmas::PrimId qid :
+             candidate.prims_of_kind(xmas::PrimKind::Queue)) {
+          o.queue_capacities.emplace_back(qid, candidate.prim(qid).capacity);
+        }
+        free = session->check_with(o).deadlock_free();
+      } else {
+        // make_net changed more than capacities: probe this capacity the
+        // slow, always-correct way.
+        result.incremental = false;
+        free = probe_from_scratch(candidate, options.verify, result);
+      }
+    } else {
+      free = probe_from_scratch(make_net(capacity), options.verify, result);
+    }
     result.probes.emplace_back(capacity, free);
     return free;
   };
@@ -88,18 +340,23 @@ QueueSizingResult find_minimal_queue_size(
               ? options.max_capacity
               : cap + step;
   }
-  if (hi == 0) {
-    result.seconds = total.seconds();
-    return result;  // nothing within range
+  if (hi != 0) {
+    // Binary search in (last_bad, hi].
+    lo = last_bad + 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (probe(mid)) hi = mid;
+      else lo = mid + 1;
+    }
+    result.minimal_capacity = hi;
   }
-  // Binary search in (last_bad, hi].
-  lo = last_bad + 1;
-  while (lo < hi) {
-    const std::size_t mid = lo + (hi - lo) / 2;
-    if (probe(mid)) hi = mid;
-    else lo = mid + 1;
+  if (session.has_value()) {
+    const SessionStats& s = session->stats();
+    result.validations += s.validations;
+    result.invariant_generations += s.invariant_generations;
+    result.encodes += s.encodes;
+    result.solver_checks += s.checks;
   }
-  result.minimal_capacity = hi;
   result.seconds = total.seconds();
   return result;
 }

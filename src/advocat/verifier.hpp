@@ -2,14 +2,29 @@
 //   structural validation → T-derivation → cross-layer invariant
 //   generation → block/idle SMT deadlock query (with the invariants
 //   conjoined) → verdict + witness.
+//
+// The pipeline is exposed as an incremental *session* (Verifier): the
+// expensive, capacity-independent stages — validation, T-derivation,
+// invariant generation, the block/idle encoding, and the solver-side
+// translation — run once at construction; every subsequent check() /
+// check_with() / probe_capacity() is a solver call under retractable
+// assumptions on one live smt::Solver. The one-shot verify() and the
+// queue-capacity search find_minimal_queue_size() are thin wrappers.
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "deadlock/checker.hpp"
+#include "deadlock/encoder.hpp"
+#include "invariants/generator.hpp"
+#include "smt/smtlib.hpp"
 #include "xmas/network.hpp"
+#include "xmas/typing.hpp"
 
 namespace advocat::core {
 
@@ -29,6 +44,12 @@ struct VerifyOptions {
   /// Solver backend: Auto picks Z3 when compiled in, the portable native
   /// solver otherwise.
   smt::Backend backend = smt::Backend::Auto;
+  /// Encode queue capacities as symbolic variables bound per check by
+  /// solver assumptions instead of baked-in constants. Required for
+  /// Verifier::probe_capacity(); the encoding is otherwise equivalent.
+  bool symbolic_capacities = false;
+  /// Mirror the solver session into an SMT-LIB script (Verifier::script()).
+  bool record_script = false;
 };
 
 struct VerifyResult {
@@ -39,20 +60,142 @@ struct VerifyResult {
 
   double typing_seconds = 0.0;
   double invariant_seconds = 0.0;
+  /// Encode vs solve split (mirrors report.encode_seconds /
+  /// report.solve_seconds). For a session the encode cost is paid once at
+  /// construction and repeated verbatim in every result; solve_seconds is
+  /// this check's marginal cost.
+  double encode_seconds = 0.0;
+  double solve_seconds = 0.0;
+  /// First check on a session (and the verify() wrapper): construction +
+  /// check. Later session checks: this check's wall clock only.
   double total_seconds = 0.0;
 
   [[nodiscard]] bool deadlock_free() const { return report.deadlock_free(); }
   [[nodiscard]] std::string to_string() const;
 };
 
-/// Runs the full pipeline. Throws std::invalid_argument when the network
-/// fails structural validation.
+/// Per-check deviations from a session's base VerifyOptions. Everything
+/// here is expressed through scoped assertion or assumptions, so no state
+/// leaks into later checks.
+struct CheckOverrides {
+  std::optional<bool> use_invariants;
+  std::optional<bool> use_inequalities;
+  std::optional<bool> use_flow_completion;
+  std::optional<unsigned> timeout_ms;
+  /// Uniform capacity assumed for every queue (symbolic sessions only).
+  std::optional<std::size_t> uniform_capacity;
+  /// Per-queue capacity bindings (symbolic sessions only); wins over
+  /// uniform_capacity. Queues in neither keep their network capacity.
+  std::vector<std::pair<xmas::PrimId, std::size_t>> queue_capacities;
+  /// Extra assumptions, built from the session's factory(), held for this
+  /// check only.
+  std::vector<smt::ExprId> assumptions;
+};
+
+/// Instrumentation: how often each pipeline stage actually ran on a
+/// session. A capacity-sizing run over N probes should show one
+/// validation/typing/generation/encode and N checks.
+struct SessionStats {
+  std::size_t validations = 0;
+  std::size_t typings = 0;
+  std::size_t invariant_generations = 0;
+  std::size_t encodes = 0;
+  std::size_t checks = 0;
+};
+
+/// Incremental verification session over one network. Construction runs
+/// validation, T-derivation, invariant generation (per options) and the
+/// deadlock encoding, and asserts everything into a live solver; each
+/// check is then a single incremental (re-)solve. Throws
+/// std::invalid_argument when the network fails structural validation.
+class Verifier {
+ public:
+  explicit Verifier(xmas::Network net, VerifyOptions options = {});
+
+  // The live solver references factory_, and the invariant set references
+  // net_/typing_; member addresses must stay stable for the session's
+  // lifetime, so sessions are pinned (construct in place, e.g. inside a
+  // std::optional).
+  Verifier(const Verifier&) = delete;
+  Verifier& operator=(const Verifier&) = delete;
+
+  /// Re-solves the deadlock query under the session's base options.
+  VerifyResult check();
+  /// Re-solves under per-check overrides (see CheckOverrides). Feature
+  /// groups toggled off are disabled via unasserted guard assumptions;
+  /// groups toggled on that were never prepared are generated lazily and
+  /// asserted incrementally — later checks get them for free.
+  VerifyResult check_with(const CheckOverrides& overrides);
+  /// Assumes capacity `k` for every queue and re-solves: one assumption
+  /// flip per probe. Requires VerifyOptions::symbolic_capacities.
+  VerifyResult probe_capacity(std::size_t capacity);
+
+  [[nodiscard]] const xmas::Network& network() const { return net_; }
+  [[nodiscard]] const xmas::Typing& typing() const { return typing_; }
+  [[nodiscard]] const VerifyOptions& options() const { return options_; }
+  [[nodiscard]] const SessionStats& stats() const { return stats_; }
+  /// The session's expression arena — build CheckOverrides::assumptions
+  /// against this factory.
+  [[nodiscard]] smt::ExprFactory& factory() { return factory_; }
+  /// The recorded SMT-LIB session (empty unless options.record_script).
+  [[nodiscard]] const smt::Script& script() const { return script_; }
+
+  /// Whether `other` differs from the session's network only in queue
+  /// capacities — the precondition for probing `other`'s capacities on
+  /// this session. Compares primitives, wiring, colors, automaton
+  /// skeletons, and the derived per-channel typing (a semantic
+  /// fingerprint of the std::function-valued parts: function maps, switch
+  /// routes, transition guards/transforms). Function bodies that diverge
+  /// without moving any color past the typing are undetectable and remain
+  /// the caller's contract.
+  [[nodiscard]] bool probe_compatible(const xmas::Network& other) const;
+
+ private:
+  VerifyResult run_check(const CheckOverrides& o);
+  void ensure_invariants(bool want_inequalities);
+  void ensure_flow_completion();
+
+  xmas::Network net_;
+  VerifyOptions options_;
+  xmas::Typing typing_;
+  smt::ExprFactory factory_;
+  deadlock::Encoding enc_;
+  smt::Script script_;
+  std::unique_ptr<smt::Solver> solver_;
+
+  // Feature-group guard literals: each group is asserted once as
+  // guard → constraint; a check enables the group by assuming the guard.
+  smt::ExprId inv_guard_ = smt::kNoExpr;
+  smt::ExprId ineq_guard_ = smt::kNoExpr;
+  smt::ExprId flow_guard_ = smt::kNoExpr;
+  bool invariants_ready_ = false;
+  bool inequalities_ready_ = false;
+  bool flow_ready_ = false;
+  inv::InvariantSet invariants_;
+
+  SessionStats stats_;
+  double construct_typing_seconds_ = 0.0;
+  double invariant_seconds_ = 0.0;
+  double construct_encode_seconds_ = 0.0;
+  double construct_seconds_ = 0.0;  ///< total ctor wall clock
+  bool construction_charged_ = false;
+};
+
+/// Runs the full pipeline once (thin wrapper over a one-check Verifier).
+/// Throws std::invalid_argument when the network fails structural
+/// validation.
 VerifyResult verify(const xmas::Network& net, const VerifyOptions& options = {});
 
 struct QueueSizingOptions {
   std::size_t min_capacity = 1;
   std::size_t max_capacity = 256;
   VerifyOptions verify;
+  /// Probe capacities as assumption flips on one Verifier session (the
+  /// incremental path). Requires make_net to vary only queue capacities
+  /// with its argument — verified structurally per probe, with a
+  /// per-probe fallback to a fresh one-shot verify() when the shapes
+  /// diverge. Set false to force the legacy re-encode-per-probe path.
+  bool incremental = true;
 };
 
 struct QueueSizingResult {
@@ -62,12 +205,27 @@ struct QueueSizingResult {
   /// (capacity, deadlock_free) for every probe, in probe order.
   std::vector<std::pair<std::size_t, bool>> probes;
   double seconds = 0.0;
+
+  // Instrumentation (see SessionStats): on the incremental path a whole
+  // sizing run costs one validation + one invariant generation + one
+  // encode, and one solver check per probe. (Each probe additionally
+  // builds the candidate network and derives its typing as the
+  // probe_compatible fingerprint; that safety net is not a pipeline stage
+  // and is not counted here.)
+  std::size_t validations = 0;
+  std::size_t invariant_generations = 0;
+  std::size_t encodes = 0;
+  std::size_t solver_checks = 0;
+  /// Whether the incremental session path was used for every probe.
+  bool incremental = false;
 };
 
 /// Finds the minimal uniform queue capacity for which `make_net(capacity)`
 /// verifies deadlock-free. Assumes monotonicity (larger queues never
 /// introduce deadlocks — true for the paper's case studies): exponential
-/// probe up from min_capacity, then binary search.
+/// probe up from min_capacity, then binary search. With
+/// QueueSizingOptions::incremental (the default) all probes are assumption
+/// flips on one live Verifier session.
 QueueSizingResult find_minimal_queue_size(
     const std::function<xmas::Network(std::size_t)>& make_net,
     const QueueSizingOptions& options = {});

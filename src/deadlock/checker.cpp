@@ -25,31 +25,9 @@ std::string Report::to_string() const {
   return os.str();
 }
 
-Report check(const xmas::Network& net, const xmas::Typing& typing,
-             smt::ExprFactory& factory,
-             const std::vector<smt::ExprId>& extra_assertions,
-             unsigned timeout_ms, smt::Backend backend) {
-  Report report;
-  util::Stopwatch watch;
-
-  Encoder encoder(net, typing, factory);
-  Encoding enc = encoder.encode();
-  report.num_definitions = enc.definitions.size();
-  report.encode_seconds = watch.seconds();
-
-  auto solver = smt::make_solver(factory, backend);
-  for (smt::ExprId e : enc.structural) solver->add(e);
-  for (smt::ExprId e : enc.definitions) solver->add(e);
-  for (smt::ExprId e : extra_assertions) solver->add(e);
-  solver->add(enc.deadlock);
-
-  watch.reset();
-  report.result = solver->check(timeout_ms);
-  report.solve_seconds = watch.seconds();
-
-  if (report.result != smt::SatResult::Sat) return report;
-
-  const smt::Model& model = solver->model();
+void decode_witness(const xmas::Network& net, const xmas::Typing& typing,
+                    const smt::ExprFactory& factory, const Encoding& enc,
+                    const smt::Model& model, Report& report) {
   for (const auto& [tag, expr] : enc.disjuncts) {
     if (smt::eval_bool(factory, model, expr)) report.fired.push_back(tag);
   }
@@ -73,6 +51,32 @@ Report check(const xmas::Network& net, const xmas::Typing& typing,
       }
     }
   }
+}
+
+Report check(const xmas::Network& net, const xmas::Typing& typing,
+             smt::ExprFactory& factory,
+             const std::vector<smt::ExprId>& extra_assertions,
+             unsigned timeout_ms, smt::Backend backend) {
+  Report report;
+  util::Stopwatch watch;
+
+  Encoder encoder(net, typing, factory);
+  Encoding enc = encoder.encode();
+  report.num_definitions = enc.definitions.size();
+  report.encode_seconds = watch.seconds();
+
+  auto solver = smt::make_solver(factory, backend);
+  for (smt::ExprId e : enc.structural) solver->add(e);
+  for (smt::ExprId e : enc.definitions) solver->add(e);
+  for (smt::ExprId e : extra_assertions) solver->add(e);
+  solver->add(enc.deadlock);
+
+  watch.reset();
+  report.result = solver->check(timeout_ms);
+  report.solve_seconds = watch.seconds();
+
+  if (report.result != smt::SatResult::Sat) return report;
+  decode_witness(net, typing, factory, enc, solver->model(), report);
   return report;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "deadlock/encoder.hpp"
 #include "smt/expr.hpp"
 #include "smt/solver.hpp"
 #include "xmas/network.hpp"
@@ -42,5 +43,12 @@ Report check(const xmas::Network& net, const xmas::Typing& typing,
              const std::vector<smt::ExprId>& extra_assertions = {},
              unsigned timeout_ms = 0,
              smt::Backend backend = smt::Backend::Auto);
+
+/// Decodes a Sat model into the witness fields of `report` (fired
+/// disjuncts, queue contents, automaton states). Shared between the
+/// one-shot check() above and the incremental core::Verifier session.
+void decode_witness(const xmas::Network& net, const xmas::Typing& typing,
+                    const smt::ExprFactory& factory, const Encoding& enc,
+                    const smt::Model& model, Report& report);
 
 }  // namespace advocat::deadlock

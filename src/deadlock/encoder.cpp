@@ -23,8 +23,16 @@ std::uint64_t key(ChanId c, ColorId d) {
 }  // namespace
 
 Encoder::Encoder(const xmas::Network& net, const xmas::Typing& typing,
-                 smt::ExprFactory& factory)
-    : net_(net), typing_(typing), f_(factory) {}
+                 smt::ExprFactory& factory, EncoderOptions options)
+    : net_(net), typing_(typing), f_(factory), options_(options) {}
+
+smt::ExprId Encoder::capacity_expr(PrimId queue) {
+  if (options_.symbolic_capacities) {
+    return f_.int_var(cap_var_name(net_, queue));
+  }
+  return f_.int_const(
+      static_cast<std::int64_t>(net_.prim(queue).capacity));
+}
 
 smt::ExprId Encoder::occ(PrimId queue, ColorId d) {
   return f_.int_var(occ_var_name(net_, queue, d));
@@ -91,8 +99,7 @@ smt::ExprId Encoder::block_rhs(ChanId c, ColorId d) {
       // full: Σ_d' #q.d' = capacity
       std::vector<smt::ExprId> occs;
       for (ColorId d2 : stored) occs.push_back(occ(q, d2));
-      const smt::ExprId full =
-          f_.eq(f_.add(occs), f_.int_const(static_cast<std::int64_t>(p.capacity)));
+      const smt::ExprId full = f_.eq(f_.add(occs), capacity_expr(q));
       const ColorSet& out_colors = typing_.of(p.out[0]);
       if (p.fifo) {
         // FIFO: blocked iff full and some stored packet (potentially at the
@@ -273,6 +280,11 @@ Encoding Encoder::encode() {
   // Structural constraints for every queue and automaton.
   for (PrimId qid : net_.prims_of_kind(PrimKind::Queue)) {
     const Primitive& q = net_.prim(qid);
+    const smt::ExprId cap = capacity_expr(qid);
+    if (options_.symbolic_capacities) {
+      enc.capacity_vars.emplace_back(qid, cap);
+      enc.structural.push_back(f_.ge(cap, f_.int_const(0)));
+    }
     const ColorSet& stored = typing_.of(q.in[0]);
     std::vector<smt::ExprId> occs;
     for (ColorId d : stored) {
@@ -281,8 +293,7 @@ Encoding Encoder::encode() {
       occs.push_back(v);
     }
     if (!occs.empty()) {
-      enc.structural.push_back(f_.le(
-          f_.add(occs), f_.int_const(static_cast<std::int64_t>(q.capacity))));
+      enc.structural.push_back(f_.le(f_.add(occs), cap));
     }
   }
   for (std::size_t ai = 0; ai < net_.automata().size(); ++ai) {

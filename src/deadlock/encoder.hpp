@@ -35,6 +35,17 @@
 
 namespace advocat::deadlock {
 
+struct EncoderOptions {
+  /// Encode each queue's capacity as a fresh integer variable (see
+  /// cap_var_name in varnames.hpp) instead of baking in the
+  /// Primitive::capacity constant. The encoding then contains no capacity
+  /// constants at all; a session binds the variables per check via solver
+  /// assumptions `C[q] = k` (Encoding::capacity_vars), which is what makes
+  /// capacity probing a sequence of assumption flips instead of a
+  /// re-encode.
+  bool symbolic_capacities = false;
+};
+
 struct Encoding {
   /// Domain constraints: occupancy bounds, Σ_d #q.d <= capacity,
   /// Σ_s A.s = 1 with 0 <= A.s <= 1.
@@ -45,6 +56,11 @@ struct Encoding {
   smt::ExprId deadlock = smt::kNoExpr;
   /// Tagged disjuncts of `deadlock` for witness reporting.
   std::vector<std::pair<std::string, smt::ExprId>> disjuncts;
+  /// (queue, capacity variable) per queue, in network order; populated only
+  /// under EncoderOptions::symbolic_capacities. The encoding leaves these
+  /// variables unbounded above — every check must assume a binding for each
+  /// or the query is vacuously Sat.
+  std::vector<std::pair<xmas::PrimId, smt::ExprId>> capacity_vars;
 
   [[nodiscard]] std::vector<smt::ExprId> all_assertions() const {
     std::vector<smt::ExprId> out = structural;
@@ -57,7 +73,7 @@ struct Encoding {
 class Encoder {
  public:
   Encoder(const xmas::Network& net, const xmas::Typing& typing,
-          smt::ExprFactory& factory);
+          smt::ExprFactory& factory, EncoderOptions options = {});
 
   /// Builds the full encoding. Idempotent per instance.
   Encoding encode();
@@ -80,6 +96,10 @@ class Encoder {
   smt::ExprId idle_rhs(ChanId c, ColorId d);
   smt::ExprId dead_rhs(int automaton_index);
 
+  /// The queue's capacity as an expression: the symbolic variable under
+  /// EncoderOptions::symbolic_capacities, the baked-in constant otherwise.
+  smt::ExprId capacity_expr(xmas::PrimId queue);
+
   /// Block of a transformation result: block(o, d') or false for ⊥.
   smt::ExprId block_of_emission(const xmas::Primitive& prim,
                                 const std::optional<xmas::Emission>& em);
@@ -87,6 +107,7 @@ class Encoder {
   const xmas::Network& net_;
   const xmas::Typing& typing_;
   smt::ExprFactory& f_;
+  EncoderOptions options_;
 
   // Memoization keyed by (channel|automaton, color). Definitions are
   // appended to defs_ on first creation; a key present in the map with a

@@ -5,6 +5,9 @@
 // be asserted into the deadlock query:
 //   occupancy  #q.d     ->  "N[<queue>.<color>]"      (Int, >= 0)
 //   automaton  A.s      ->  "S[<automaton>.<state>]"  (Int, 0/1)
+//   capacity   cap(q)   ->  "C[<queue>]"              (Int, >= 0; only under
+//                            symbolic-capacity encodings, bound per check by
+//                            solver assumptions)
 #pragma once
 
 #include <string>
@@ -17,6 +20,11 @@ namespace advocat {
                                               xmas::PrimId queue,
                                               xmas::ColorId color) {
   return "N[" + net.prim(queue).name + "." + net.colors().name(color) + "]";
+}
+
+[[nodiscard]] inline std::string cap_var_name(const xmas::Network& net,
+                                              xmas::PrimId queue) {
+  return "C[" + net.prim(queue).name + "]";
 }
 
 [[nodiscard]] inline std::string state_var_name(const xmas::Network& net,

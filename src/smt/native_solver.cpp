@@ -75,12 +75,38 @@ class NativeSolver final : public Solver {
  public:
   explicit NativeSolver(const ExprFactory& factory) : f_(factory) {
     true_var_ = new_bvar();
-    unit_lits_.push_back(mk_lit(true_var_, false));
+    def_units_.push_back(mk_lit(true_var_, false));
   }
 
   void add(ExprId assertion) override { roots_.push_back(assertion); }
 
-  SatResult check(unsigned timeout_ms) override {
+  // Scopes are marks into roots_. Translation artifacts (Tseitin gate
+  // clauses, atoms, variables) are *definitional* — for any assignment of
+  // the original variables there is a consistent assignment of the gates —
+  // so they are sound to keep forever; pop() only retracts the unit
+  // literals that assert the scoped roots.
+  void push() override { scopes_.push_back(roots_.size()); }
+
+  void pop() override {
+    if (scopes_.empty()) {
+      throw std::logic_error("NativeSolver::pop: no open scope");
+    }
+    const std::size_t mark = scopes_.back();
+    scopes_.pop_back();
+    roots_.resize(mark);
+    if (translated_roots_ > mark) {
+      translated_roots_ = mark;
+      root_lits_.resize(mark);
+    }
+  }
+
+  [[nodiscard]] std::size_t num_scopes() const override {
+    return scopes_.size();
+  }
+
+ protected:
+  SatResult do_check(const std::vector<ExprId>& assumptions,
+                     unsigned timeout_ms) override {
     deadline_active_ = timeout_ms > 0;
     if (deadline_active_) {
       deadline_ = Clock::now() + std::chrono::milliseconds(timeout_ms);
@@ -89,7 +115,7 @@ class NativeSolver final : public Solver {
     stat_decisions_ = stat_conflicts_ = stat_leaves_ = stat_int_nodes_ = 0;
     SatResult result;
     try {
-      result = run_check();
+      result = run_check(assumptions);
     } catch (const Timeout&) {
       result = SatResult::Unknown;
     }
@@ -106,8 +132,6 @@ class NativeSolver final : public Solver {
     }
     return result;
   }
-
-  [[nodiscard]] const Model& model() const override { return model_; }
 
  private:
   // ------------------------------------------------------------ translation
@@ -135,7 +159,7 @@ class NativeSolver final : public Solver {
     if (c.empty()) {
       trivially_unsat_ = true;
     } else if (c.size() == 1) {
-      unit_lits_.push_back(c[0]);
+      def_units_.push_back(c[0]);
     } else {
       clauses_.push_back(std::move(c));
     }
@@ -567,16 +591,29 @@ class NativeSolver final : public Solver {
     return 0;
   }
 
+  /// Saved phase from the previous check (incremental-session heuristic):
+  /// successive checks on one session usually differ by a few assumptions,
+  /// so steering undetermined decisions toward the last check's assignment
+  /// re-walks the unchanged part of the search space without conflicts.
+  bool saved_phase_negated(int v, bool fallback) const {
+    if (static_cast<std::size_t>(v) < saved_phase_.size() &&
+        saved_phase_[static_cast<std::size_t>(v)] != kUndef) {
+      return saved_phase_[static_cast<std::size_t>(v)] == kFalse;
+    }
+    return fallback;
+  }
+
   /// Phase for deciding an atom variable: follow what the bounds already
-  /// entail so the first branch is not an immediate theory conflict.
+  /// entail so the first branch is not an immediate theory conflict; when
+  /// the bounds leave the atom open, fall back to the saved phase.
   bool decide_phase_negated(int v) const {
     const int ai = atom_of_var_[static_cast<std::size_t>(v)];
-    if (ai < 0) return true;  // plain boolean: try "false" first
+    if (ai < 0) return saved_phase_negated(v, true);  // plain boolean
     const Atom& a = atoms_[static_cast<std::size_t>(ai)];
     if (!a.is_eq) {
       const int s = row_status(a.when_true[0]);
       if (s != 0) return s < 0;
-      return true;
+      return saved_phase_negated(v, true);
     }
     // Equality: forced false when the bound lies outside [min, max] of
     // either direction; forced true only when both rows are entailed.
@@ -584,7 +621,7 @@ class NativeSolver final : public Solver {
     const int s1 = row_status(a.when_true[1]);
     if (s0 < 0 || s1 < 0) return true;
     if (s0 > 0 && s1 > 0) return false;
-    return true;
+    return saved_phase_negated(v, true);
   }
 
   struct LevelMark {
@@ -629,17 +666,18 @@ class NativeSolver final : public Solver {
   }
 
   void capture_model() {
-    model_ = Model();
+    Model m;
     for (const auto& [v, name] : named_bools_) {
       if (assign_[static_cast<std::size_t>(v)] != kUndef) {
-        model_.set_bool(name, assign_[static_cast<std::size_t>(v)] == kTrue);
+        m.set_bool(name, assign_[static_cast<std::size_t>(v)] == kTrue);
       }
     }
     for (std::size_t v = 0; v < int_names_.size(); ++v) {
       if (lo_[v] != kNegInf && lo_[v] == hi_[v]) {
-        model_.set_int(int_names_[v], lo_[v]);
+        m.set_int(int_names_[v], lo_[v]);
       }
     }
+    store_model(std::move(m));
   }
 
   /// Branch-and-bound completion of the integer domains at a full boolean
@@ -751,43 +789,74 @@ class NativeSolver final : public Solver {
     return r;
   }
 
-  void init_search() {
-    assign_.assign(static_cast<std::size_t>(num_bvars_), kUndef);
-    watches_.assign(static_cast<std::size_t>(2 * num_bvars_), {});
-    for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
-      const auto& c = clauses_[ci];
-      watches_[static_cast<std::size_t>(c[0])].push_back(static_cast<int>(ci));
-      watches_[static_cast<std::size_t>(c[1])].push_back(static_cast<int>(ci));
+  /// Prepares the search state for a fresh check while keeping everything
+  /// that is expensive to rebuild: the clause database and its watch lists
+  /// (the two-watched-literal invariant is assignment-relative, and every
+  /// assignment is unwound here), the Tseitin/atom translation caches, and
+  /// the bounds-undo machinery. Per-variable and per-clause structures only
+  /// ever *grow* for material translated since the previous check.
+  void reset_search() {
+    // Unwind the previous check: restore every bound changed since scope 0
+    // (Sat leaves bounds pinned for model capture) and unassign the trail,
+    // saving its polarities as the next check's phase hints.
+    levels_.clear();
+    deactivate_rows_to(0);
+    undo_to(0);
+    saved_phase_.resize(static_cast<std::size_t>(num_bvars_), kUndef);
+    for (Lit l : trail_) {
+      const auto v = static_cast<std::size_t>(var_of(l));
+      saved_phase_[v] = assign_[v];
+      assign_[v] = kUndef;
     }
     trail_.clear();
     qhead_ = theory_head_ = 0;
-    levels_.clear();
-    lo_.assign(int_names_.size(), kNegInf);
-    hi_.assign(int_names_.size(), kPosInf);
-    lo_stamp_.assign(int_names_.size(), 0);
-    hi_stamp_.assign(int_names_.size(), 0);
-    undo_era_ = 1;
-    undo_.clear();
-    active_rows_.clear();
-    row_occ_.assign(int_names_.size(), {});
     active_diseqs_.clear();
     row_work_.clear();
-    dirty_stamp_.assign(int_names_.size(), 0);
-    dirty_vars_.clear();
-    dirty_gen_ = 1;
-    scan_stamp_.assign(atoms_.size(), 0);
-    scan_gen_ = 0;
+    clear_dirty();
+
+    // Grow for material translated since the last check.
+    assign_.resize(static_cast<std::size_t>(num_bvars_), kUndef);
+    watches_.resize(static_cast<std::size_t>(2 * num_bvars_));
+    for (; watched_clauses_ < clauses_.size(); ++watched_clauses_) {
+      const auto& c = clauses_[watched_clauses_];
+      watches_[static_cast<std::size_t>(c[0])].push_back(
+          static_cast<int>(watched_clauses_));
+      watches_[static_cast<std::size_t>(c[1])].push_back(
+          static_cast<int>(watched_clauses_));
+    }
+    const std::size_t n = int_names_.size();
+    lo_.resize(n, kNegInf);
+    hi_.resize(n, kPosInf);
+    lo_stamp_.resize(n, 0);
+    hi_stamp_.resize(n, 0);
+    row_occ_.resize(n);
+    dirty_stamp_.resize(n, 0);
+    scan_stamp_.resize(atoms_.size(), 0);
     cursor_ = 0;
     saw_unknown_ = false;
   }
 
-  SatResult run_check() {
+  SatResult run_check(const std::vector<ExprId>& assumptions) {
     for (; translated_roots_ < roots_.size(); ++translated_roots_) {
-      unit_lits_.push_back(translate_bool(roots_[translated_roots_]));
+      root_lits_.push_back(translate_bool(roots_[translated_roots_]));
     }
+    // Assumption literals reuse the same memoized translation, so repeated
+    // probes over the same expressions add no clauses after the first.
+    std::vector<Lit> assumption_lits;
+    assumption_lits.reserve(assumptions.size());
+    for (ExprId a : assumptions) assumption_lits.push_back(translate_bool(a));
     if (trivially_unsat_) return SatResult::Unsat;
-    init_search();
-    for (Lit l : unit_lits_) {
+    reset_search();
+    for (Lit l : def_units_) {
+      if (!enqueue(l)) return SatResult::Unsat;
+    }
+    for (Lit l : root_lits_) {
+      if (!enqueue(l)) return SatResult::Unsat;
+    }
+    // Assumptions are forced at decision level 0: any conflict below the
+    // first decision refutes the assertion set *under the assumptions*,
+    // and the assignment dies with this check's trail — nothing persists.
+    for (Lit l : assumption_lits) {
       if (!enqueue(l)) return SatResult::Unsat;
     }
     for (;;) {
@@ -817,11 +886,12 @@ class NativeSolver final : public Solver {
   }
 
   const ExprFactory& f_;
-  Model model_;
 
-  // Translation state (persists across check() calls).
+  // Translation state (persists across check() calls and pop()).
   std::vector<ExprId> roots_;
+  std::vector<std::size_t> scopes_;  // push() marks into roots_
   std::size_t translated_roots_ = 0;
+  std::vector<Lit> root_lits_;  // per translated root, aligned with roots_
   std::unordered_map<ExprId, Lit> lit_memo_;
   int num_bvars_ = 0;
   int true_var_ = -1;
@@ -834,10 +904,11 @@ class NativeSolver final : public Solver {
   std::vector<Atom> atoms_;
   std::unordered_map<std::string, int> atom_index_;
   std::vector<std::vector<Lit>> clauses_;
-  std::vector<Lit> unit_lits_;
+  std::size_t watched_clauses_ = 0;  // prefix of clauses_ with live watches
+  std::vector<Lit> def_units_;  // definitional units (never retracted)
   bool trivially_unsat_ = false;
 
-  // Search state (rebuilt by init_search()).
+  // Search state (reset — but not reallocated — by reset_search()).
   std::vector<Val> assign_;
   std::vector<std::vector<int>> watches_;  // literal -> watching clauses
   std::vector<Lit> trail_;
@@ -853,6 +924,7 @@ class NativeSolver final : public Solver {
   std::vector<std::vector<int>> row_occ_;  // int var -> active row indices
   std::vector<int> active_diseqs_;         // atom indices asserted ≠
   std::vector<int> row_work_;
+  std::vector<Val> saved_phase_;  // previous check's polarities (hints)
   std::vector<int> dirty_vars_;  // int vars with bound changes to rescan
   std::vector<std::uint64_t> dirty_stamp_;
   std::uint64_t dirty_gen_ = 1;

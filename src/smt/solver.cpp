@@ -1,5 +1,5 @@
-// Backend-independent pieces of the solver interface: the Model accessors
-// and the runtime backend dispatch.
+// Backend-independent pieces of the solver interface: the Model accessors,
+// the shared check()/model() plumbing, and the runtime backend dispatch.
 #include "smt/solver.hpp"
 
 #include <stdexcept>
@@ -16,6 +16,24 @@ std::int64_t Model::int_value(const std::string& name) const {
 bool Model::bool_value(const std::string& name) const {
   auto it = bools_.find(name);
   return it != bools_.end() && it->second;
+}
+
+SatResult Solver::check(unsigned timeout_ms) {
+  static const std::vector<ExprId> kNoAssumptions;
+  return check_assuming(kNoAssumptions, timeout_ms);
+}
+
+SatResult Solver::check_assuming(const std::vector<ExprId>& assumptions,
+                                 unsigned timeout_ms) {
+  ++num_checks_;
+  return do_check(assumptions, timeout_ms);
+}
+
+const Model& Solver::model() const {
+  if (!has_model_) {
+    throw std::logic_error("Solver::model: no check has returned Sat yet");
+  }
+  return model_;
 }
 
 const char* to_string(Backend b) {

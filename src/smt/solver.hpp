@@ -3,8 +3,17 @@
 // Two interchangeable backends implement it: Z3 (z3_solver.cpp, compiled
 // only when libz3 is available) and the portable in-tree solver
 // (native_solver.cpp, always available). make_solver() picks one at
-// runtime; to_smtlib() in smtlib.hpp serializes the same assertions for
-// external solvers.
+// runtime; smtlib.hpp serializes the same sessions for external solvers.
+//
+// The interface is *incremental*: a solver is a live session. Assertions
+// accumulate across check() calls, push()/pop() open and discard assertion
+// scopes, and check(assumptions) solves under temporary hypotheses that are
+// retracted automatically when the call returns. Declarations (variables,
+// and each backend's internal translation of expressions) are persistent —
+// they survive pop() — so repeated checks over the same expression DAG
+// never pay the translation cost twice. This is what makes capacity
+// probing (core::Verifier::probe_capacity) a sequence of assumption flips
+// instead of a rebuild of the whole pipeline.
 #pragma once
 
 #include <cstdint>
@@ -46,15 +55,60 @@ class Model {
   std::unordered_map<std::string, bool> bools_;
 };
 
+/// Incremental solver session. Backends implement the protected virtuals;
+/// the public surface (check overloads, model storage, counters) is shared.
 class Solver {
  public:
   virtual ~Solver() = default;
 
+  /// Asserts `assertion` in the current scope: it stays active until the
+  /// enclosing push() is popped (or forever at scope 0).
   virtual void add(ExprId assertion) = 0;
-  /// Checks all added assertions; `timeout_ms` 0 means no limit.
-  virtual SatResult check(unsigned timeout_ms = 0) = 0;
-  /// Valid only after check() returned Sat.
-  [[nodiscard]] virtual const Model& model() const = 0;
+
+  /// Opens an assertion scope.
+  virtual void push() = 0;
+  /// Discards every assertion added since the matching push(). Throws
+  /// std::logic_error when no scope is open. Declarations and the last
+  /// model survive.
+  virtual void pop() = 0;
+  /// Number of open scopes.
+  [[nodiscard]] virtual std::size_t num_scopes() const = 0;
+
+  /// Checks all active assertions; `timeout_ms` 0 means no limit.
+  SatResult check(unsigned timeout_ms = 0);
+  /// Checks all active assertions conjoined with `assumptions`, which are
+  /// retracted when the call returns (they never leak into later checks).
+  /// Unsat means unsat *under these assumptions*. A distinct name — not a
+  /// check() overload — so a braced assumption list can never silently
+  /// bind to the timeout parameter.
+  SatResult check_assuming(const std::vector<ExprId>& assumptions,
+                           unsigned timeout_ms = 0);
+
+  /// Model of the most recent Sat check. Survives push()/pop() and later
+  /// non-Sat checks; throws std::logic_error when no check ever was Sat.
+  [[nodiscard]] const Model& model() const;
+  /// Alias of model() emphasizing the retraction-survival contract.
+  [[nodiscard]] const Model& last_model() const { return model(); }
+  /// Whether any check so far returned Sat (i.e. model() is valid).
+  [[nodiscard]] bool has_model() const { return has_model_; }
+
+  /// Total check() calls on this session (instrumentation hook).
+  [[nodiscard]] std::size_t num_checks() const { return num_checks_; }
+
+ protected:
+  /// Backend hook behind both check() overloads.
+  virtual SatResult do_check(const std::vector<ExprId>& assumptions,
+                             unsigned timeout_ms) = 0;
+  /// Backends store each Sat model here.
+  void store_model(Model m) {
+    model_ = std::move(m);
+    has_model_ = true;
+  }
+
+ private:
+  Model model_;
+  bool has_model_ = false;
+  std::size_t num_checks_ = 0;
 };
 
 /// Selects the solver implementation behind make_solver().

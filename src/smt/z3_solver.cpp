@@ -1,6 +1,7 @@
 // Z3 backend. The only translation unit that includes z3++.h.
 #include <z3++.h>
 
+#include <stdexcept>
 #include <unordered_map>
 
 #include "smt/solver.hpp"
@@ -16,13 +17,42 @@ class Z3Solver final : public Solver {
 
   void add(ExprId assertion) override { solver_.add(translate(assertion)); }
 
-  SatResult check(unsigned timeout_ms) override {
-    if (timeout_ms > 0) {
-      z3::params p(ctx_);
-      p.set("timeout", timeout_ms);
-      solver_.set(p);
+  void push() override {
+    solver_.push();
+    ++num_scopes_;
+  }
+
+  void pop() override {
+    if (num_scopes_ == 0) {
+      throw std::logic_error("Z3Solver::pop: no open scope");
     }
-    switch (solver_.check()) {
+    solver_.pop(1);
+    --num_scopes_;
+  }
+
+  [[nodiscard]] std::size_t num_scopes() const override { return num_scopes_; }
+
+ protected:
+  SatResult do_check(const std::vector<ExprId>& assumptions,
+                     unsigned timeout_ms) override {
+    // Z3 parameters persist on the solver object, so a timeout set for one
+    // check of the session must be cleared for the next (0 = no limit is
+    // Z3's UINT_MAX default).
+    z3::params p(ctx_);
+    p.set("timeout", timeout_ms > 0 ? timeout_ms : 4294967295u);
+    solver_.set(p);
+
+    z3::check_result r;
+    if (assumptions.empty()) {
+      r = solver_.check();
+    } else {
+      // z3::solver::check(expr_vector) treats the vector as assumptions:
+      // they hold for this call only, exactly the Solver contract.
+      z3::expr_vector av(ctx_);
+      for (ExprId a : assumptions) av.push_back(translate(a));
+      r = solver_.check(av);
+    }
+    switch (r) {
       case z3::sat: {
         extract_model();
         return SatResult::Sat;
@@ -31,8 +61,6 @@ class Z3Solver final : public Solver {
       default: return SatResult::Unknown;
     }
   }
-
-  [[nodiscard]] const Model& model() const override { return model_; }
 
  private:
   z3::expr translate(ExprId id) {
@@ -78,24 +106,27 @@ class Z3Solver final : public Solver {
   }
 
   void extract_model() {
-    model_ = Model();
+    Model out;
     z3::model m = solver_.get_model();
     for (const auto& [name, is_bool] : factory_.variables()) {
       if (is_bool) {
         z3::expr v = m.eval(ctx_.bool_const(name.c_str()), true);
-        model_.set_bool(name, v.is_true());
+        out.set_bool(name, v.is_true());
       } else {
         z3::expr v = m.eval(ctx_.int_const(name.c_str()), true);
         std::int64_t value = 0;
-        if (v.is_numeral_i64(value)) model_.set_int(name, value);
+        if (v.is_numeral_i64(value)) out.set_int(name, value);
       }
     }
+    store_model(std::move(out));
   }
 
   const ExprFactory& factory_;
   z3::context ctx_;
   z3::solver solver_;
-  Model model_;
+  std::size_t num_scopes_ = 0;
+  // Translation cache. z3::expr handles are owned by ctx_, not by the
+  // solver's assertion stack, so cached terms stay valid across pop().
   std::unordered_map<ExprId, z3::expr> cache_;
 };
 

@@ -1,0 +1,259 @@
+// The incremental Solver contract, on every available backend: push/pop
+// scoping, assumption-based checks with automatic retraction, model
+// survival across pop, session recording/replay through smt::Script, and
+// native-vs-Z3 verdict agreement on interleaved check sequences.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "backend_fixture.hpp"
+#include "smt/eval.hpp"
+#include "smt/expr.hpp"
+#include "smt/smtlib.hpp"
+#include "smt/solver.hpp"
+
+namespace advocat::smt {
+namespace {
+
+class Incremental : public advocat::testing::BackendTest {};
+ADVOCAT_INSTANTIATE_BACKENDS(Incremental);
+
+TEST_P(Incremental, PushPopScopesAssertions) {
+  ExprFactory f;
+  const ExprId x = f.int_var("x");
+  auto solver = make_solver(f, GetParam());
+  solver->add(f.le(x, f.int_const(1)));
+  EXPECT_EQ(solver->check(), SatResult::Sat);
+
+  solver->push();
+  EXPECT_EQ(solver->num_scopes(), 1u);
+  solver->add(f.le(f.int_const(2), x));
+  EXPECT_EQ(solver->check(), SatResult::Unsat);
+  solver->pop();
+
+  EXPECT_EQ(solver->num_scopes(), 0u);
+  EXPECT_EQ(solver->check(), SatResult::Sat);  // x >= 2 retracted
+}
+
+TEST_P(Incremental, NestedScopesUnwindIndependently) {
+  ExprFactory f;
+  const ExprId x = f.int_var("x");
+  auto solver = make_solver(f, GetParam());
+  solver->add(f.le(f.int_const(0), x));
+  solver->add(f.le(x, f.int_const(10)));
+
+  solver->push();
+  solver->add(f.le(f.int_const(5), x));  // x in [5, 10]
+  solver->push();
+  solver->add(f.le(x, f.int_const(4)));  // contradiction
+  EXPECT_EQ(solver->check(), SatResult::Unsat);
+  solver->pop();
+  ASSERT_EQ(solver->check(), SatResult::Sat);
+  EXPECT_GE(solver->model().int_value("x"), 5);
+  solver->pop();
+
+  ASSERT_EQ(solver->check(), SatResult::Sat);
+  const std::int64_t v = solver->model().int_value("x");
+  EXPECT_GE(v, 0);
+  EXPECT_LE(v, 10);
+}
+
+TEST_P(Incremental, PopWithoutPushThrows) {
+  ExprFactory f;
+  auto solver = make_solver(f, GetParam());
+  EXPECT_THROW(solver->pop(), std::logic_error);
+}
+
+TEST_P(Incremental, AssumptionsAreRetractedPerCheck) {
+  ExprFactory f;
+  const ExprId x = f.int_var("x");
+  auto solver = make_solver(f, GetParam());
+  solver->add(f.le(f.int_const(0), x));
+  solver->add(f.le(x, f.int_const(8)));
+
+  // Unsat under an assumption, Sat again without it: nothing leaked.
+  EXPECT_EQ(solver->check_assuming({f.le(f.int_const(9), x)}), SatResult::Unsat);
+  EXPECT_EQ(solver->check(), SatResult::Sat);
+
+  // Assumption flips pin different solutions on one live session.
+  for (std::int64_t k = 0; k <= 8; k += 4) {
+    ASSERT_EQ(solver->check_assuming({f.eq(x, f.int_const(k))}), SatResult::Sat);
+    EXPECT_EQ(solver->model().int_value("x"), k);
+  }
+}
+
+TEST_P(Incremental, AssumptionsComposeWithScopes) {
+  ExprFactory f;
+  const ExprId x = f.int_var("x");
+  const ExprId g = f.bool_var("g");
+  auto solver = make_solver(f, GetParam());
+  solver->add(f.le(f.int_const(0), x));
+  solver->add(f.le(x, f.int_const(5)));
+  // Guarded constraint, enabled per check by assuming the guard.
+  solver->add(f.implies(g, f.le(f.int_const(3), x)));
+
+  ASSERT_EQ(solver->check_assuming({g, f.le(x, f.int_const(2))}), SatResult::Unsat);
+  ASSERT_EQ(solver->check_assuming({f.le(x, f.int_const(2))}), SatResult::Sat);
+
+  solver->push();
+  solver->add(f.le(x, f.int_const(2)));
+  EXPECT_EQ(solver->check_assuming({g}), SatResult::Unsat);
+  solver->pop();
+  EXPECT_EQ(solver->check_assuming({g}), SatResult::Sat);
+}
+
+TEST_P(Incremental, LastModelSurvivesPop) {
+  ExprFactory f;
+  const ExprId x = f.int_var("x");
+  const ExprId inner = f.eq(x, f.int_const(7));
+  auto solver = make_solver(f, GetParam());
+  solver->add(f.le(f.int_const(0), x));
+
+  solver->push();
+  solver->add(inner);
+  ASSERT_EQ(solver->check(), SatResult::Sat);
+  solver->pop();
+
+  // The scoped assertion is gone, but the model it produced is not, and
+  // still satisfies the popped formula under the reference evaluator.
+  ASSERT_TRUE(solver->has_model());
+  EXPECT_EQ(solver->last_model().int_value("x"), 7);
+  EXPECT_TRUE(eval_bool(f, solver->last_model(), inner));
+
+  // A later Unsat check does not clobber the last Sat model either.
+  EXPECT_EQ(solver->check_assuming({f.le(x, f.int_const(-1))}), SatResult::Unsat);
+  EXPECT_EQ(solver->last_model().int_value("x"), 7);
+}
+
+TEST_P(Incremental, ModelBeforeAnySatCheckThrows) {
+  ExprFactory f;
+  auto solver = make_solver(f, GetParam());
+  EXPECT_FALSE(solver->has_model());
+  EXPECT_THROW((void)solver->model(), std::logic_error);
+}
+
+TEST_P(Incremental, CountsChecks) {
+  ExprFactory f;
+  const ExprId x = f.int_var("x");
+  auto solver = make_solver(f, GetParam());
+  solver->add(f.le(f.int_const(0), x));
+  EXPECT_EQ(solver->num_checks(), 0u);
+  (void)solver->check();
+  (void)solver->check_assuming({f.eq(x, f.int_const(1))});
+  EXPECT_EQ(solver->num_checks(), 2u);
+}
+
+TEST_P(Incremental, DeclarationsPersistAcrossPop) {
+  ExprFactory f;
+  const ExprId x = f.int_var("x");
+  const ExprId y = f.int_var("y");
+  auto solver = make_solver(f, GetParam());
+  solver->add(f.le(f.int_const(0), x));
+
+  solver->push();
+  solver->add(f.eq(y, f.add({x, f.int_const(1)})));  // first mention of y
+  ASSERT_EQ(solver->check(), SatResult::Sat);
+  solver->pop();
+
+  // y's declaration (and each backend's translation of it) survives the
+  // pop; re-asserting over y works without re-declaration.
+  solver->add(f.eq(y, f.int_const(3)));
+  ASSERT_EQ(solver->check(), SatResult::Sat);
+  EXPECT_EQ(solver->model().int_value("y"), 3);
+}
+
+// A deterministic interleaved session: scopes, assumptions, retraction.
+// Returns the verdict sequence, used both for cross-backend agreement and
+// for the Script replay round-trip.
+std::vector<SatResult> run_session(ExprFactory& f, Solver& solver) {
+  const ExprId x = f.int_var("x");
+  const ExprId y = f.int_var("y");
+  std::vector<SatResult> verdicts;
+  solver.add(f.le(f.int_const(0), x));
+  solver.add(f.le(x, f.int_const(6)));
+  solver.add(f.le(f.int_const(0), y));
+  verdicts.push_back(solver.check());
+  solver.push();
+  solver.add(f.eq(f.add({x, y}), f.int_const(4)));
+  verdicts.push_back(solver.check_assuming({f.le(f.int_const(5), y)}));
+  verdicts.push_back(solver.check());
+  solver.push();
+  solver.add(f.le(f.int_const(7), x));
+  verdicts.push_back(solver.check());
+  solver.pop();
+  verdicts.push_back(solver.check_assuming({f.eq(x, f.int_const(4))}));
+  solver.pop();
+  verdicts.push_back(solver.check_assuming({f.le(f.int_const(7), x)}));
+  return verdicts;
+}
+
+TEST(IncrementalAgreement, BackendsAgreeOnInterleavedSessions) {
+  if (!backend_available(Backend::Z3)) {
+    GTEST_SKIP() << "built without Z3";
+  }
+  ExprFactory f_native;
+  ExprFactory f_z3;
+  auto native = make_solver(f_native, Backend::Native);
+  auto z3 = make_solver(f_z3, Backend::Z3);
+  const std::vector<SatResult> a = run_session(f_native, *native);
+  const std::vector<SatResult> b = run_session(f_z3, *z3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Script, RecordsAndSerializesSessions) {
+  ExprFactory f;
+  Script script;
+  auto solver = make_recording_solver(make_solver(f, Backend::Native), script);
+  const std::vector<SatResult> verdicts = run_session(f, *solver);
+
+  EXPECT_EQ(script.num_checks(), verdicts.size());
+  EXPECT_EQ(script.num_scopes(), 0u);  // balanced session
+
+  const std::string text = script.to_smtlib(f);
+  EXPECT_NE(text.find("(push 1)"), std::string::npos);
+  EXPECT_NE(text.find("(pop 1)"), std::string::npos);
+  EXPECT_NE(text.find("(declare-const x Int)"), std::string::npos);
+  // Assumption checks serialize as push/assert/check-sat/pop brackets, so
+  // pushes and pops stay balanced in the emitted script.
+  std::size_t pushes = 0;
+  std::size_t pops = 0;
+  for (std::size_t at = text.find("(push 1)"); at != std::string::npos;
+       at = text.find("(push 1)", at + 1)) {
+    ++pushes;
+  }
+  for (std::size_t at = text.find("(pop 1)"); at != std::string::npos;
+       at = text.find("(pop 1)", at + 1)) {
+    ++pops;
+  }
+  EXPECT_EQ(pushes, pops);
+  EXPECT_GE(pushes, 2u);
+}
+
+TEST(Script, UnbalancedPopThrows) {
+  Script script;
+  EXPECT_THROW(script.pop(), std::logic_error);
+  script.push();
+  script.pop();
+  EXPECT_THROW(script.pop(), std::logic_error);
+}
+
+// Round-trip: a recorded session replayed onto a fresh solver of every
+// backend reproduces the original verdicts exactly.
+class ScriptReplay : public advocat::testing::BackendTest {};
+ADVOCAT_INSTANTIATE_BACKENDS(ScriptReplay);
+
+TEST_P(ScriptReplay, ReplayReproducesVerdicts) {
+  ExprFactory f;
+  Script script;
+  std::vector<SatResult> recorded;
+  {
+    auto recorder =
+        make_recording_solver(make_solver(f, Backend::Native), script);
+    recorded = run_session(f, *recorder);
+  }
+  auto fresh = make_solver(f, GetParam());
+  EXPECT_EQ(script.replay(*fresh), recorded);
+}
+
+}  // namespace
+}  // namespace advocat::smt

@@ -10,7 +10,7 @@
 namespace advocat::core {
 namespace {
 
-class Verifier : public advocat::testing::BackendTest {
+class VerifierTest : public advocat::testing::BackendTest {
  protected:
   VerifyOptions options() const {
     VerifyOptions o;
@@ -18,18 +18,18 @@ class Verifier : public advocat::testing::BackendTest {
     return o;
   }
 };
-ADVOCAT_INSTANTIATE_BACKENDS(Verifier);
+ADVOCAT_INSTANTIATE_BACKENDS(VerifierTest);
 
-class QueueSizing : public Verifier {};
+class QueueSizing : public VerifierTest {};
 ADVOCAT_INSTANTIATE_BACKENDS(QueueSizing);
 
-TEST_P(Verifier, RejectsInvalidNetworks) {
+TEST_P(VerifierTest, RejectsInvalidNetworks) {
   xmas::Network net;
   net.add_queue("dangling", 2);
   EXPECT_THROW(verify(net, options()), std::invalid_argument);
 }
 
-TEST_P(Verifier, ReportsStageTimings) {
+TEST_P(VerifierTest, ReportsStageTimings) {
   testing::RunningExample rx;
   const VerifyResult r = verify(rx.net, options());
   EXPECT_TRUE(r.deadlock_free());
@@ -39,7 +39,7 @@ TEST_P(Verifier, ReportsStageTimings) {
   EXPECT_NE(r.to_string().find("invariants:"), std::string::npos);
 }
 
-TEST_P(Verifier, InvariantsCanBeDisabled) {
+TEST_P(VerifierTest, InvariantsCanBeDisabled) {
   testing::RunningExample rx;
   VerifyOptions o = options();
   o.use_invariants = false;
@@ -90,6 +90,147 @@ TEST_P(QueueSizing, ReportsFailureWhenNothingFits) {
   const QueueSizingResult r = find_minimal_queue_size(make, o);
   EXPECT_EQ(r.minimal_capacity, 0u);
   EXPECT_FALSE(r.probes.empty());
+}
+
+TEST_P(VerifierTest, SessionChecksAreRepeatable) {
+  testing::RunningExample rx;
+  Verifier session(rx.net, options());
+  const VerifyResult first = session.check();
+  const VerifyResult second = session.check();
+  EXPECT_TRUE(first.deadlock_free());
+  EXPECT_TRUE(second.deadlock_free());
+  EXPECT_EQ(first.num_invariants, second.num_invariants);
+  // One pipeline, many checks.
+  EXPECT_EQ(session.stats().validations, 1u);
+  EXPECT_EQ(session.stats().invariant_generations, 1u);
+  EXPECT_EQ(session.stats().encodes, 1u);
+  EXPECT_EQ(session.stats().checks, 2u);
+}
+
+TEST_P(VerifierTest, CheckWithTogglesInvariantsPerCheck) {
+  testing::RunningExample rx;
+  Verifier session(rx.net, options());
+  EXPECT_TRUE(session.check().deadlock_free());
+
+  // Disabling the invariants for one check degenerates to plain detection
+  // (candidates reappear), exactly like a one-shot verify without them...
+  CheckOverrides no_inv;
+  no_inv.use_invariants = false;
+  const VerifyResult plain = session.check_with(no_inv);
+  EXPECT_FALSE(plain.deadlock_free());
+  EXPECT_EQ(plain.num_invariants, 0u);
+
+  // ...and nothing leaks into the next full-strength check.
+  EXPECT_TRUE(session.check().deadlock_free());
+  EXPECT_EQ(session.stats().invariant_generations, 1u);
+}
+
+TEST_P(VerifierTest, ProbeCapacityMatchesOneShotVerify) {
+  auto make = [](std::size_t cap) {
+    coh::MiAbstractConfig config;
+    config.queue_capacity = cap;
+    return std::move(coh::build_mi_abstract(config).net);
+  };
+  VerifyOptions vo = options();
+  vo.symbolic_capacities = true;
+  Verifier session(make(1), vo);
+  for (std::size_t cap = 1; cap <= 4; ++cap) {
+    const bool incremental = session.probe_capacity(cap).deadlock_free();
+    const bool one_shot = verify(make(cap), options()).deadlock_free();
+    EXPECT_EQ(incremental, one_shot) << "capacity " << cap;
+    EXPECT_EQ(incremental, cap >= 3u);  // the paper's 2x2 boundary
+  }
+  EXPECT_EQ(session.stats().validations, 1u);
+  EXPECT_EQ(session.stats().checks, 4u);
+}
+
+TEST_P(VerifierTest, ProbeCapacityRequiresSymbolicSession) {
+  testing::RunningExample rx;
+  Verifier session(rx.net, options());
+  EXPECT_THROW((void)session.probe_capacity(2), std::logic_error);
+}
+
+TEST_P(VerifierTest, RecordsSmtlibSessionScript) {
+  testing::RunningExample rx;
+  VerifyOptions vo = options();
+  vo.record_script = true;
+  Verifier session(rx.net, vo);
+  (void)session.check();
+  (void)session.check();
+  EXPECT_EQ(session.script().num_checks(), 2u);
+  const std::string text = session.script().to_smtlib(session.factory());
+  // Guard assumptions serialize as push/assert/check-sat/pop brackets.
+  EXPECT_NE(text.find("(push 1)"), std::string::npos);
+  EXPECT_NE(text.find("(pop 1)"), std::string::npos);
+  EXPECT_NE(text.find("(check-sat)"), std::string::npos);
+}
+
+TEST_P(QueueSizing, SizingRunsThePipelineExactlyOnce) {
+  auto make = [](std::size_t cap) {
+    coh::MiAbstractConfig config;
+    config.queue_capacity = cap;
+    return std::move(coh::build_mi_abstract(config).net);
+  };
+  QueueSizingOptions o;
+  o.min_capacity = 1;
+  o.max_capacity = 16;
+  o.verify = options();
+  const QueueSizingResult r = find_minimal_queue_size(make, o);
+  EXPECT_EQ(r.minimal_capacity, 3u);
+  EXPECT_TRUE(r.incremental);
+  // The tentpole contract: one validation + one invariant generation + one
+  // encode for the whole sizing run; one solver check per probe.
+  EXPECT_EQ(r.validations, 1u);
+  EXPECT_EQ(r.invariant_generations, 1u);
+  EXPECT_EQ(r.encodes, 1u);
+  EXPECT_GE(r.probes.size(), 2u);
+  EXPECT_EQ(r.solver_checks, r.probes.size());
+}
+
+TEST_P(QueueSizing, LegacyPathAgreesWithIncremental) {
+  auto make = [](std::size_t cap) {
+    coh::MiAbstractConfig config;
+    config.queue_capacity = cap;
+    return std::move(coh::build_mi_abstract(config).net);
+  };
+  QueueSizingOptions o;
+  o.min_capacity = 1;
+  o.max_capacity = 16;
+  o.verify = options();
+  o.incremental = false;
+  const QueueSizingResult legacy = find_minimal_queue_size(make, o);
+  EXPECT_EQ(legacy.minimal_capacity, 3u);
+  EXPECT_FALSE(legacy.incremental);
+  // The legacy path re-runs the pipeline per probe.
+  EXPECT_EQ(legacy.validations, legacy.probes.size());
+}
+
+TEST_P(QueueSizing, ShapeChangingFactoryFallsBackSafely) {
+  // make_net(cap) changes structure, not just capacities: the session
+  // detects the mismatch per probe and falls back to one-shot verifies.
+  auto make = [](std::size_t cap) {
+    xmas::Network net;
+    const xmas::ColorId d = net.colors().intern("d");
+    xmas::PrimId prev = net.add_source("src", {d});
+    int out = 0;
+    // One pipeline stage per unit of capacity; every queue has capacity 1,
+    // and the tail sink is dead below capacity 3, fair at and above it.
+    for (std::size_t i = 0; i < cap; ++i) {
+      const xmas::PrimId q = net.add_queue("q" + std::to_string(i), 1);
+      net.connect(prev, out, q, 0);
+      prev = q;
+      out = 0;
+    }
+    net.connect(prev, out, net.add_sink("sink", /*fair=*/cap >= 3), 0);
+    return net;
+  };
+  QueueSizingOptions o;
+  o.min_capacity = 1;
+  o.max_capacity = 8;
+  o.verify = options();
+  const QueueSizingResult r = find_minimal_queue_size(make, o);
+  EXPECT_EQ(r.minimal_capacity, 3u);
+  EXPECT_FALSE(r.incremental);  // the session could not be reused
 }
 
 TEST_P(QueueSizing, TrivialSystemNeedsMinCapacity) {
