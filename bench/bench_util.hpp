@@ -17,9 +17,23 @@
 #include <cstdlib>
 #include <string>
 
+#include "smt/solver.hpp"
 #include "util/stopwatch.hpp"
 
 namespace advocat::bench {
+
+/// Normalized three-way verdict string for output and BENCH_JSON lines:
+/// "free" (proven deadlock-free), "deadlock" (candidate found), "unknown"
+/// (timeout or degraded search — NOT a deadlock and NOT a harness
+/// failure; harnesses exit non-zero only on definite disagreement).
+inline const char* verdict_string(smt::SatResult r) {
+  switch (r) {
+    case smt::SatResult::Unsat: return "free";
+    case smt::SatResult::Sat: return "deadlock";
+    case smt::SatResult::Unknown: return "unknown";
+  }
+  return "unknown";
+}
 
 /// Wall-clock timer for experiment phases.
 using Timer = util::Stopwatch;
@@ -65,10 +79,30 @@ class JsonLine {
     return raw(key, v ? "true" : "false");
   }
   JsonLine& field(const char* key, const char* v) {
-    return raw(key, "\"" + std::string(v) + "\"");
+    // Built with append rather than operator+ chains: GCC 12's -Wrestrict
+    // false-positives on the temporary-string insert path under -O2.
+    std::string quoted;
+    quoted.reserve(std::char_traits<char>::length(v) + 2);
+    quoted += '"';
+    quoted += v;
+    quoted += '"';
+    return raw(key, quoted);
   }
   JsonLine& field(const char* key, const std::string& v) {
     return field(key, v.c_str());
+  }
+
+  /// Emits the SolveStats counters under their canonical keys (used by
+  /// collect_bench.sh's smoke-mode learned-clause regression guard).
+  JsonLine& solver_stats(const smt::SolveStats& s) {
+    return field("conflicts", static_cast<std::size_t>(s.conflicts))
+        .field("decisions", static_cast<std::size_t>(s.decisions))
+        .field("propagations", static_cast<std::size_t>(s.propagations))
+        .field("restarts", static_cast<std::size_t>(s.restarts))
+        .field("learned_clauses", static_cast<std::size_t>(s.learned_clauses))
+        .field("deleted_clauses", static_cast<std::size_t>(s.deleted_clauses))
+        .field("learned_kept", s.learned_kept)
+        .field("learned_hits", static_cast<std::size_t>(s.learned_hits));
   }
 
   /// Prints `BENCH_JSON {...}` on its own line.

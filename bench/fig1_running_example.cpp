@@ -67,14 +67,17 @@ void print_reproduction() {
   std::printf("paper: 2 unreachable candidates without invariants; none "
               "with\n");
   std::printf("measured: without invariants -> %s\n",
-              plain.deadlock_free() ? "deadlock-free" : "candidate found");
+              bench::verdict_string(plain.report.result));
   std::printf("measured: with invariants    -> %s\n\n",
-              full.deadlock_free() ? "deadlock-free" : "candidate found");
+              bench::verdict_string(full.report.result));
   bench::JsonLine("fig1_running_example")
       .field("invariants", full.num_invariants)
-      .field("free_without_invariants", plain.deadlock_free())
-      .field("free_with_invariants", full.deadlock_free())
+      .field("verdict_without_invariants",
+             bench::verdict_string(plain.report.result))
+      .field("verdict_with_invariants",
+             bench::verdict_string(full.report.result))
       .field("seconds", full.total_seconds)
+      .solver_stats(full.solve_stats)
       .print();
 }
 

@@ -42,14 +42,14 @@ void compare(int k, std::size_t cap, std::size_t state_budget) {
   std::printf("%dx%-2d cap=%-3zu  advocat: %-8s %7.2fs   explicit: %-12s "
               "%7.2fs  (%zu states)\n",
               k, k, cap,
-              advocat_result.deadlock_free() ? "free" : "deadlock",
+              bench::verdict_string(advocat_result.report.result),
               advocat_result.total_seconds, mc_verdict, mc.seconds,
               mc.states_visited);
   bench::JsonLine("tab_baseline_mc")
       .field("mesh", k)
       .field("capacity", cap)
       .field("advocat_verdict",
-             advocat_result.deadlock_free() ? "free" : "deadlock")
+             bench::verdict_string(advocat_result.report.result))
       .field("advocat_seconds", advocat_result.total_seconds)
       .field("explicit_verdict", mc_verdict)
       .field("explicit_seconds", mc.seconds)

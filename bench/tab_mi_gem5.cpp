@@ -26,8 +26,7 @@ int main() {
     const core::VerifyResult r = core::verify(sys.net);
     std::printf("\n2x2: %zu derived equalities (paper: 14 invariants), "
                 "verdict %s\n",
-                r.num_invariants,
-                r.deadlock_free() ? "deadlock-free" : "deadlock");
+                r.num_invariants, bench::verdict_string(r.report.result));
     for (const auto& line : r.invariant_text) {
       std::printf("  %s\n", line.c_str());
     }
@@ -50,8 +49,18 @@ int main() {
     options.max_capacity = 256;
     const auto sizing = core::find_minimal_queue_size(make, options);
 
+    // A sizing run that hit Unknown probes is reported explicitly instead
+    // of silently continuing with a possibly over-sized minimum.
+    if (sizing.unknown_probes > 0) {
+      std::printf("%dx%-4d %8zu  (inconclusive: %zu unknown probes)\n", k, k,
+                  sizing.minimal_capacity, sizing.unknown_probes);
+    }
     double t_deadlock = 0.0;
     double t_proof = 0.0;
+    // "skipped" = the check never ran (no boundary to probe), distinct
+    // from a solver that ran and returned unknown.
+    const char* v_deadlock = "skipped";
+    const char* v_proof = "skipped";
     if (sizing.minimal_capacity > 1) {
       coh::MiGem5Config config;
       config.width = k;
@@ -59,25 +68,33 @@ int main() {
       config.queue_capacity = sizing.minimal_capacity - 1;
       const auto r = core::verify(coh::build_mi_gem5(config).net);
       t_deadlock = r.total_seconds;
+      v_deadlock = bench::verdict_string(r.report.result);
     }
-    {
+    if (sizing.minimal_capacity > 0) {
       coh::MiGem5Config config;
       config.width = k;
       config.height = k;
       config.queue_capacity = sizing.minimal_capacity;
       const auto r = core::verify(coh::build_mi_gem5(config).net);
       t_proof = r.total_seconds;
+      v_proof = bench::verdict_string(r.report.result);
     }
-    std::printf("%dx%-4d %8zu %14.2f %14.2f\n", k, k,
-                sizing.minimal_capacity, t_deadlock, t_proof);
+    std::printf("%dx%-4d %8zu %14.2f %14.2f  [%s / %s]\n", k, k,
+                sizing.minimal_capacity, t_deadlock, t_proof, v_deadlock,
+                v_proof);
     bench::JsonLine("tab_mi_gem5")
         .field("mesh", k)
         .field("minimal_capacity", sizing.minimal_capacity)
+        .field("conclusive", sizing.unknown_probes == 0)
+        .field("unknown_probes", sizing.unknown_probes)
         .field("sizing_probes", sizing.probes.size())
         .field("sizing_solver_checks", sizing.solver_checks)
         .field("sizing_incremental", sizing.incremental)
         .field("sizing_seconds", sizing.seconds)
+        .solver_stats(sizing.solve_stats)
+        .field("deadlock_verdict", v_deadlock)
         .field("deadlock_seconds", t_deadlock)
+        .field("proof_verdict", v_proof)
         .field("proof_seconds", t_proof)
         .print();
   }

@@ -39,7 +39,7 @@ int main() {
                 sys.net.automata().size(), sys.net.num_queues(),
                 r.num_invariants, r.invariant_seconds, r.encode_seconds,
                 r.solve_seconds, watch.seconds(),
-                r.deadlock_free() ? "free" : "deadlock");
+                bench::verdict_string(r.report.result));
     bench::JsonLine("tab_scaling")
         .field("mesh", k)
         .field("vcs", vcs)
@@ -49,7 +49,8 @@ int main() {
         .field("encode_seconds", r.encode_seconds)
         .field("solve_seconds", r.solve_seconds)
         .field("total_seconds", watch.seconds())
-        .field("verdict", r.deadlock_free() ? "free" : "deadlock")
+        .field("verdict", bench::verdict_string(r.report.result))
+        .solver_stats(r.solve_stats)
         .print();
   }
   std::printf("paper 6x6+VC reference: 2844 primitives, 36 automata, "
@@ -71,14 +72,15 @@ int main() {
   for (std::size_t cap : {25u, 50u, 100u, 200u}) {
     const core::VerifyResult r = session.probe_capacity(cap);
     std::printf("  capacity %4zu: solve %.2fs (%s)\n", cap, r.solve_seconds,
-                r.deadlock_free() ? "free" : "deadlock");
+                bench::verdict_string(r.report.result));
     bench::JsonLine("tab_scaling_capacity_sweep")
         .field("mesh", sweep_k)
         .field("capacity", cap)
         .field("encode_seconds", r.encode_seconds)
         .field("solve_seconds", r.solve_seconds)
         .field("total_seconds", r.total_seconds)
-        .field("verdict", r.deadlock_free() ? "free" : "deadlock")
+        .field("verdict", bench::verdict_string(r.report.result))
+        .solver_stats(r.solve_stats)
         .print();
   }
   std::printf("paper: verification time does not depend on queue size.\n");

@@ -33,21 +33,28 @@ int main() {
     options.max_capacity = 256;
     const core::QueueSizingResult r = core::find_minimal_queue_size(make, options);
     // The deadlock must persist for *some* size even with VCs (the paper's
-    // central claim about VCs); report the smallest failing probe.
+    // central claim about VCs); report the largest probe with a *definite*
+    // deadlock verdict (Unknown probes are inconclusive, not deadlocks).
     std::size_t largest_bad = 0;
-    for (const auto& [cap, free] : r.probes) {
-      if (!free && cap > largest_bad) largest_bad = cap;
+    for (const auto& [cap, verdict] : r.probes) {
+      if (verdict == smt::SatResult::Sat && cap > largest_bad) {
+        largest_bad = cap;
+      }
     }
     std::printf("  %d VC%s: minimal safe queue size %zu "
-                "(deadlock still present at %zu) [%.1fs]\n",
+                "(deadlock still present at %zu%s) [%.1fs]\n",
                 vcs, vcs == 1 ? " " : "s", r.minimal_capacity, largest_bad,
+                r.unknown_probes > 0 ? "; some probes unknown" : "",
                 r.seconds);
     bench::JsonLine("tab_vc_ablation")
         .field("mesh", k)
         .field("vcs", vcs)
         .field("minimal_capacity", r.minimal_capacity)
+        .field("conclusive", r.unknown_probes == 0)
+        .field("unknown_probes", r.unknown_probes)
         .field("largest_deadlocked_capacity", largest_bad)
         .field("seconds", r.seconds)
+        .solver_stats(r.solve_stats)
         .print();
   }
   std::printf("\npaper reference (6x6): no VCs -> 58, with VCs -> >29; "

@@ -69,9 +69,13 @@ int main() {
       sim::Simulator simulator(net);
       const sim::ExploreResult ground = sim::explore(simulator);
       const bool really_free = ground.complete && !ground.deadlock;
+      const char* advocat_verdict =
+          result.deadlock_free()
+              ? "deadlock-free"
+              : (result.report.result == smt::SatResult::Sat ? "candidate"
+                                                             : "unknown");
       std::printf("  items=%zu credits=%zu: advocat=%-13s explorer=%s\n",
-                  items, credits,
-                  result.deadlock_free() ? "deadlock-free" : "candidate",
+                  items, credits, advocat_verdict,
                   really_free ? "deadlock-free" : "deadlock");
       // Soundness: a deadlock-free verdict must match ground truth.
       if (result.deadlock_free() && !really_free) {

@@ -23,6 +23,11 @@ int main(int argc, char** argv) {
   const core::VerifyResult result = core::verify(sys.net);
   std::printf("%s", result.to_string().c_str());
   if (result.deadlock_free()) return 0;
+  if (result.report.result == smt::SatResult::Unknown) {
+    std::printf("verdict: unknown (solver timeout or degraded search) — "
+                "nothing to confirm\n");
+    return 0;  // inconclusive, not a disagreement
+  }
 
   // ADVOCAT found a candidate; confirm reachability with the explorer.
   sim::Simulator simulator(sys.net);

@@ -52,14 +52,22 @@ int main() {
   }
 
   // 3. Prove deadlock freedom (and show what happens without invariants).
+  auto verdict = [](const core::VerifyResult& r) {
+    switch (r.report.result) {
+      case smt::SatResult::Unsat: return "deadlock-free";
+      case smt::SatResult::Sat: return "deadlock candidate";
+      case smt::SatResult::Unknown: return "unknown (no verdict)";
+    }
+    return "unknown (no verdict)";
+  };
   core::VerifyOptions no_inv;
   no_inv.use_invariants = false;
   const core::VerifyResult plain = core::verify(net, no_inv);
-  std::printf("\nwithout invariants: %s\n",
-              plain.deadlock_free() ? "deadlock-free" : "deadlock candidate");
+  std::printf("\nwithout invariants: %s\n", verdict(plain));
 
   const core::VerifyResult full = core::verify(net);
-  std::printf("with invariants:    %s\n",
-              full.deadlock_free() ? "deadlock-free" : "deadlock candidate");
-  return full.deadlock_free() ? 0 : 1;
+  std::printf("with invariants:    %s\n", verdict(full));
+  // Non-zero only for a definite wrong answer (the paper proves this
+  // network free); an Unknown verdict is inconclusive, not a failure.
+  return full.report.result == smt::SatResult::Sat ? 1 : 0;
 }

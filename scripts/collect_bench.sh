@@ -4,17 +4,40 @@
 #
 # Usage: scripts/collect_bench.sh <build-dir> [output-file]
 #
+# The output file defaults to BENCH.json; set BENCH_PR=<n> (or pass an
+# explicit output file) to write the per-PR trajectory name BENCH_PR<n>.json
+# that CI uploads as an artifact.
+#
 # Environment:
-#   ADVOCAT_SMOKE=1  minimal instances (CI regression mode, seconds)
+#   BENCH_PR=<n>     name the default output BENCH_PR<n>.json
+#   ADVOCAT_SMOKE=1  minimal instances (CI regression mode, seconds); also
+#                    enables the learned-clause regression guard below
 #   ADVOCAT_FULL=1   paper-scale instances (hours)
 #
 # Exit status is non-zero when any harness fails, so CI fails fast on
 # incremental-path regressions (fig4 exits non-zero when the incremental
-# and re-encode paths disagree on a minimal capacity).
+# and re-encode paths *definitely* disagree on a minimal capacity — an
+# unknown/timeout verdict is reported but is not a failure). In smoke mode
+# the script additionally fails when the native solver reports zero learned
+# clauses on the 2x2 fig4 sizing probe: that would mean CDCL clause
+# learning silently stopped working and the incremental speedups are gone.
+#
+# After collecting, the script diffs the new native sizing times against
+# the newest *other* BENCH_PR*.json next to the output (and in the repo
+# root) and prints per-scenario and total old/new ratios, so the
+# cross-PR perf trajectory is visible directly in CI logs. The diff is
+# informational only — it never changes the exit status (timings on
+# shared CI runners are too noisy to gate on).
 set -eu
 
 build_dir=${1:?usage: collect_bench.sh <build-dir> [output-file]}
-out=${2:-BENCH_PR2.json}
+if [ -n "${2:-}" ]; then
+  out=$2
+elif [ -n "${BENCH_PR:-}" ]; then
+  out="BENCH_PR${BENCH_PR}.json"
+else
+  out=BENCH.json
+fi
 
 if [ ! -d "$build_dir/bench" ]; then
   echo "collect_bench: no bench/ under $build_dir (built with ADVOCAT_BUILD_BENCH=ON?)" >&2
@@ -40,5 +63,80 @@ for bench in "$build_dir"/bench/*; do
   rm -f "$log"
 done
 
+# Smoke-mode regression guard: clause learning must be *active* on the
+# native 2x2 sizing probe. The fig4 harness emits one line per backend
+# with the session-cumulative solver stats; a native line with
+# "learned_clauses":0 (or no native line at all) fails the run.
+if [ -n "${ADVOCAT_SMOKE:-}" ]; then
+  native_2x2=$(grep '"bench":"fig4_queue_sizes"' "$out" \
+      | grep '"backend":"native"' | grep '"mesh":2' || true)
+  if [ -z "$native_2x2" ]; then
+    echo "collect_bench: SMOKE GUARD: no native 2x2 fig4 sizing line in $out" >&2
+    status=1
+  elif echo "$native_2x2" | grep -q '"learned_clauses":0[,}]'; then
+    echo "collect_bench: SMOKE GUARD: native 2x2 sizing reports zero learned clauses — CDCL learning is inactive:" >&2
+    echo "$native_2x2" >&2
+    status=1
+  fi
+fi
+
 echo "collect_bench: wrote $(wc -l < "$out" | tr -d ' ') result lines to $out" >&2
+
+# Trajectory diff: newest BENCH_PR*.json (other than $out) wins. Lines are
+# matched per scenario; old trajectories that predate the per-backend
+# "backend" field count as native-comparable only when they were collected
+# without Z3 — PR2's were Auto/Z3, which the ratio labels call out.
+prev=""
+# sort -V: BENCH_PR10 must come after BENCH_PR2, not before.
+for cand in $(ls -1 "$(dirname "$out")"/BENCH_PR*.json BENCH_PR*.json 2>/dev/null | sort -uV); do
+  [ "$cand" -ef "$out" ] && continue
+  [ -f "$cand" ] || continue
+  prev=$cand
+done
+if [ -n "$prev" ] && command -v python3 >/dev/null 2>&1; then
+  echo "collect_bench: trajectory vs $prev (ratio >1 = faster now):" >&2
+  python3 - "$prev" "$out" >&2 <<'PYEOF' || true
+import json, sys
+
+def load(path):
+    rows = {}
+    for line in open(path):
+        try:
+            j = json.loads(line)
+        except ValueError:
+            continue
+        bench = j.get("bench")
+        time_key = next(
+            (k for k in ("seconds", "sizing_seconds", "total_seconds")
+             if k in j), None)
+        if bench is None or time_key is None:
+            continue
+        id_keys = ("mesh", "directory_node", "capacity", "nodes", "vcs",
+                   "scenario", "name", "variant", "width", "height")
+        ident = tuple((k, j[k]) for k in id_keys if k in j)
+        rows.setdefault((bench, ident, j.get("backend")), j[time_key])
+    return rows
+
+old, new = load(sys.argv[1]), load(sys.argv[2])
+old_backends = {b for (_, _, b) in old}
+totals = {}
+for (bench, ident, backend), secs in sorted(new.items()):
+    # Pre-backend-field trajectories: match any backend's line.
+    prev = old.get((bench, ident, backend))
+    label = backend or "?"
+    if prev is None and None in old_backends:
+        prev = old.get((bench, ident, None))
+        label = f"{backend or '?'} vs pre-PR4 default backend"
+    if prev is None or secs <= 0:
+        continue
+    key = (bench, label)
+    t = totals.setdefault(key, [0.0, 0.0])
+    t[0] += prev
+    t[1] += secs
+for (bench, label), (p, n) in sorted(totals.items()):
+    print(f"  {bench} [{label}]: {p:.3f}s -> {n:.3f}s  ratio {p / n:.2f}x")
+if not totals:
+    print("  (no comparable scenarios)")
+PYEOF
+fi
 exit $status

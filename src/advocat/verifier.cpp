@@ -17,6 +17,12 @@ std::string VerifyResult::to_string() const {
   os << "time: typing " << typing_seconds << "s, invariants "
      << invariant_seconds << "s, encode " << encode_seconds << "s, solve "
      << solve_seconds << "s, total " << total_seconds << "s\n";
+  os << "solver: " << solve_stats.conflicts << " conflicts, "
+     << solve_stats.decisions << " decisions, " << solve_stats.propagations
+     << " propagations, " << solve_stats.restarts << " restarts, "
+     << solve_stats.learned_clauses << " learned ("
+     << solve_stats.learned_kept << " kept, " << solve_stats.deleted_clauses
+     << " deleted)\n";
   return os.str();
 }
 
@@ -162,6 +168,8 @@ VerifyResult Verifier::run_check(const CheckOverrides& o) {
   util::Stopwatch solve;
   result.report.result = solver_->check_assuming(assumptions, timeout);
   result.report.solve_seconds = solve.seconds();
+  result.report.solve_stats = solver_->solve_stats();
+  result.solve_stats = result.report.solve_stats;
   ++stats_.checks;
 
   if (result.report.result == smt::SatResult::Sat) {
@@ -272,14 +280,16 @@ VerifyResult verify(const xmas::Network& net, const VerifyOptions& options) {
 namespace {
 
 /// One-shot fallback probe (legacy path): rebuild and re-verify.
-bool probe_from_scratch(const xmas::Network& net, const VerifyOptions& vo,
-                        QueueSizingResult& result) {
-  const bool free = verify(net, vo).deadlock_free();
+smt::SatResult probe_from_scratch(const xmas::Network& net,
+                                  const VerifyOptions& vo,
+                                  QueueSizingResult& result) {
+  const VerifyResult r = verify(net, vo);
   ++result.validations;
   ++result.encodes;
   ++result.solver_checks;
   if (vo.use_invariants) ++result.invariant_generations;
-  return free;
+  result.solve_stats = r.solve_stats;
+  return r.report.result;
 }
 
 }  // namespace
@@ -301,7 +311,7 @@ QueueSizingResult find_minimal_queue_size(
   }
 
   auto probe = [&](std::size_t capacity) {
-    bool free = false;
+    smt::SatResult verdict = smt::SatResult::Unknown;
     if (session.has_value()) {
       xmas::Network candidate = make_net(capacity);
       if (session->probe_compatible(candidate)) {
@@ -310,18 +320,24 @@ QueueSizingResult find_minimal_queue_size(
              candidate.prims_of_kind(xmas::PrimKind::Queue)) {
           o.queue_capacities.emplace_back(qid, candidate.prim(qid).capacity);
         }
-        free = session->check_with(o).deadlock_free();
+        const VerifyResult r = session->check_with(o);
+        verdict = r.report.result;
+        result.solve_stats = r.solve_stats;
       } else {
         // make_net changed more than capacities: probe this capacity the
         // slow, always-correct way.
         result.incremental = false;
-        free = probe_from_scratch(candidate, options.verify, result);
+        verdict = probe_from_scratch(candidate, options.verify, result);
       }
     } else {
-      free = probe_from_scratch(make_net(capacity), options.verify, result);
+      verdict = probe_from_scratch(make_net(capacity), options.verify, result);
     }
-    result.probes.emplace_back(capacity, free);
-    return free;
+    result.probes.emplace_back(capacity, verdict);
+    if (verdict == smt::SatResult::Unknown) ++result.unknown_probes;
+    // Only a definite Unsat accepts the capacity; Unknown keeps searching
+    // upward (sound under the monotonicity assumption, possibly
+    // over-sized — unknown_probes tells the caller).
+    return verdict == smt::SatResult::Unsat;
   };
 
   // Exponential search for the first deadlock-free capacity.

@@ -58,6 +58,13 @@ struct VerifyResult {
   std::size_t num_inequalities = 0;
   std::vector<std::string> invariant_text;  ///< pretty-printed invariants
 
+  /// Solver search effort, cumulative over the session up to and including
+  /// this check (mirrors report.solve_stats). On the native backend the
+  /// learned-clause fields show CDCL working across incremental probes:
+  /// learned_kept > 0 after a check means later probes on the session
+  /// start from those clauses instead of re-refuting shared substructure.
+  smt::SolveStats solve_stats;
+
   double typing_seconds = 0.0;
   double invariant_seconds = 0.0;
   /// Encode vs solve split (mirrors report.encode_seconds /
@@ -202,9 +209,19 @@ struct QueueSizingResult {
   /// Smallest probed capacity proven deadlock-free; 0 when none within
   /// [min, max] was.
   std::size_t minimal_capacity = 0;
-  /// (capacity, deadlock_free) for every probe, in probe order.
-  std::vector<std::pair<std::size_t, bool>> probes;
+  /// (capacity, verdict) for every probe, in probe order. Unsat means
+  /// deadlock-free, Sat a deadlock candidate; Unknown (timeout / degraded
+  /// search) is treated as not-proven-free by the search, and callers
+  /// should report it as "unknown" rather than "deadlock".
+  std::vector<std::pair<std::size_t, smt::SatResult>> probes;
+  /// Probes whose verdict was Unknown. When nonzero, minimal_capacity is
+  /// still sound (a capacity is only accepted on a definite Unsat) but may
+  /// be larger than the true minimum.
+  std::size_t unknown_probes = 0;
   double seconds = 0.0;
+  /// Final solver search effort (incremental path: session-cumulative
+  /// totals over every probe; fallback path: the last one-shot check).
+  smt::SolveStats solve_stats;
 
   // Instrumentation (see SessionStats): on the incremental path a whole
   // sizing run costs one validation + one invariant generation + one

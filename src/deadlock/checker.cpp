@@ -74,6 +74,7 @@ Report check(const xmas::Network& net, const xmas::Typing& typing,
   watch.reset();
   report.result = solver->check(timeout_ms);
   report.solve_seconds = watch.seconds();
+  report.solve_stats = solver->solve_stats();
 
   if (report.result != smt::SatResult::Sat) return report;
   decode_witness(net, typing, factory, enc, solver->model(), report);

@@ -9,12 +9,21 @@
 //   1. Tseitin-encode the boolean skeleton of the assertion DAG; each
 //      distinct linear atom (Σ c·x ≤ k, Σ c·x = k) becomes one
 //      propositional variable.
-//   2. DPLL over the skeleton: two-watched-literal unit propagation,
-//      chronological backtracking with decision flipping.
+//   2. CDCL over the skeleton: two-watched-literal unit propagation,
+//      first-UIP clause learning with minimization, non-chronological
+//      backjumping, an EVSIDS activity heuristic, Luby restarts, and an
+//      LBD/activity-managed learned-clause database. Learned clauses
+//      persist across check() calls *and* across push()/pop(): scoped
+//      assertions and per-check assumptions are solved on assumption-style
+//      decision levels, so every learned clause is entailed by the
+//      permanent material alone and never has to be discarded.
 //   3. Every assigned atom activates interval rows; bounds propagation
-//      runs to fixpoint after each boolean step and prunes on conflict.
+//      runs to fixpoint after each boolean step, prunes on conflict, and
+//      explains entailed atoms to the conflict analyzer.
 //   4. At a full boolean assignment, fail-first branch-and-bound over the
-//      remaining integer domains completes (or refutes) the assignment.
+//      remaining integer domains completes (or refutes) the assignment;
+//      refuted leaves are learned as blocking clauses over the theory
+//      atoms, so shared substructure is never re-refuted.
 //
 // When a variable is never bounded by the active constraints the solver
 // probes a finite window and degrades an exhausted search to Unknown

@@ -178,6 +178,14 @@ class RecordingSolver final : public Solver {
     return inner_->num_scopes();
   }
 
+  [[nodiscard]] const SolveStats& solve_stats() const override {
+    return inner_->solve_stats();
+  }
+
+  [[nodiscard]] const std::vector<ExprId>& unsat_core() const override {
+    return inner_->unsat_core();
+  }
+
  protected:
   SatResult do_check(const std::vector<ExprId>& assumptions,
                      unsigned timeout_ms) override {

@@ -63,8 +63,8 @@ class Script {
 };
 
 /// Wraps `inner` so every add/push/pop/check is mirrored into `script`
-/// (which must outlive the returned solver). Verdicts and models pass
-/// through unchanged.
+/// (which must outlive the returned solver). Verdicts, models, and solve
+/// statistics pass through unchanged.
 std::unique_ptr<Solver> make_recording_solver(std::unique_ptr<Solver> inner,
                                               Script& script);
 

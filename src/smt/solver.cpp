@@ -26,6 +26,7 @@ SatResult Solver::check(unsigned timeout_ms) {
 SatResult Solver::check_assuming(const std::vector<ExprId>& assumptions,
                                  unsigned timeout_ms) {
   ++num_checks_;
+  core_.clear();  // a stale core must not outlive the check that built it
   return do_check(assumptions, timeout_ms);
 }
 

@@ -28,6 +28,27 @@ namespace advocat::smt {
 
 enum class SatResult { Sat, Unsat, Unknown };
 
+/// Cumulative search-effort counters for a solver session. The native
+/// backend fills every field exactly; the Z3 backend maps what libz3's
+/// statistics expose (the learned-clause fields stay 0 there — Z3 does not
+/// report its clause database through the stable API). Counters are
+/// *session-cumulative*: a snapshot taken after check k includes checks
+/// 1..k, so per-check deltas are snapshot differences.
+struct SolveStats {
+  std::uint64_t conflicts = 0;     ///< conflicts analyzed (incl. theory/leaf)
+  std::uint64_t decisions = 0;     ///< branching decisions
+  std::uint64_t propagations = 0;  ///< literals enqueued by propagation
+  std::uint64_t restarts = 0;      ///< search restarts (Luby schedule)
+  std::uint64_t learned_clauses = 0;  ///< clauses learned, cumulative
+  std::uint64_t deleted_clauses = 0;  ///< learned clauses deleted, cumulative
+  std::size_t learned_kept = 0;       ///< learned clauses live in the DB now
+  /// Times a clause learned in an *earlier* check propagated or conflicted
+  /// in a later one — the direct measure of refutation reuse across
+  /// incremental probes (capacity sizing). 0 means the learned clauses are
+  /// dead weight; the sizing loops show millions.
+  std::uint64_t learned_hits = 0;
+};
+
 [[nodiscard]] inline const char* to_string(SatResult r) {
   switch (r) {
     case SatResult::Sat: return "sat";
@@ -95,6 +116,28 @@ class Solver {
   /// Total check() calls on this session (instrumentation hook).
   [[nodiscard]] std::size_t num_checks() const { return num_checks_; }
 
+  /// Session-cumulative search statistics (see SolveStats). Virtual so
+  /// wrappers (e.g. the recording solver) can forward to the wrapped
+  /// backend's counters.
+  [[nodiscard]] virtual const SolveStats& solve_stats() const {
+    return stats_;
+  }
+
+  /// After a check_assuming() that returned Unsat: the subset of that
+  /// call's assumptions the refutation actually used. Order is
+  /// backend-defined, and an assumption passed several times may appear
+  /// once per occurrence — treat the core as a set. An empty core after
+  /// Unsat means the
+  /// active assertions are unsatisfiable on their own. Reset by every
+  /// check; meaningless (empty) after Sat or Unknown. Both backends fill
+  /// it (the native solver from conflict analysis over the assumption
+  /// levels, Z3 from its native unsat_core()); cores are minimal-ish, not
+  /// guaranteed minimal — every reported assumption was used, but a
+  /// smaller refutation may exist.
+  [[nodiscard]] virtual const std::vector<ExprId>& unsat_core() const {
+    return core_;
+  }
+
  protected:
   /// Backend hook behind both check() overloads.
   virtual SatResult do_check(const std::vector<ExprId>& assumptions,
@@ -104,11 +147,18 @@ class Solver {
     model_ = std::move(m);
     has_model_ = true;
   }
+  /// Backends update their counters through this.
+  [[nodiscard]] SolveStats& mutable_stats() { return stats_; }
+  /// Backends report the failed-assumption subset of an Unsat
+  /// check_assuming() here; the shared check plumbing clears it first.
+  void store_core(std::vector<ExprId> core) { core_ = std::move(core); }
 
  private:
   Model model_;
   bool has_model_ = false;
   std::size_t num_checks_ = 0;
+  SolveStats stats_;
+  std::vector<ExprId> core_;
 };
 
 /// Selects the solver implementation behind make_solver().

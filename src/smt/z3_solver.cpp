@@ -1,7 +1,10 @@
 // Z3 backend. The only translation unit that includes z3++.h.
 #include <z3++.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "smt/solver.hpp"
@@ -51,7 +54,9 @@ class Z3Solver final : public Solver {
       z3::expr_vector av(ctx_);
       for (ExprId a : assumptions) av.push_back(translate(a));
       r = solver_.check(av);
+      if (r == z3::unsat) extract_core(assumptions, av);
     }
+    import_statistics();
     switch (r) {
       case z3::sat: {
         extract_model();
@@ -103,6 +108,70 @@ class Z3Solver final : public Solver {
     }
     cache_.emplace(id, result);
     return result;
+  }
+
+  // Best-effort mapping of libz3's per-solver statistics onto SolveStats.
+  // Z3 reports counters for the engines a check actually used (the key
+  // names differ between the SAT and SMT cores), and the values already
+  // accumulate over the solver object's lifetime, so they are assigned —
+  // not added — to keep the session-cumulative contract. Learned-clause
+  // counts are not exposed through the stable API and stay 0.
+  void import_statistics() {
+    try {
+      const z3::stats st = solver_.statistics();
+      std::uint64_t conflicts = 0, decisions = 0, propagations = 0,
+                    restarts = 0;
+      for (unsigned i = 0; i < st.size(); ++i) {
+        if (!st.is_uint(i)) continue;
+        const std::string key = st.key(i);
+        const std::uint64_t v = st.uint_value(i);
+        if (key == "conflicts" || key == "sat conflicts") {
+          conflicts += v;
+        } else if (key == "decisions" || key == "sat decisions") {
+          decisions += v;
+        } else if (key == "propagations" || key == "sat propagations 2ary" ||
+                   key == "sat propagations nary") {
+          propagations += v;  // the SAT core splits binary/n-ary counters
+        } else if (key == "restarts" || key == "sat restarts") {
+          restarts += v;
+        }
+      }
+      // Z3's counters already accumulate over the solver's lifetime, so
+      // each snapshot replaces the last (monotone via max in case an
+      // engine resets its block).
+      SolveStats& out = mutable_stats();
+      out.conflicts = std::max(out.conflicts, conflicts);
+      out.decisions = std::max(out.decisions, decisions);
+      out.propagations = std::max(out.propagations, propagations);
+      out.restarts = std::max(out.restarts, restarts);
+    } catch (const z3::exception&) {
+      // Statistics are diagnostics; never let them fail a check.
+    }
+  }
+
+  // Maps Z3's unsat core (a subset of the assumption terms) back onto the
+  // caller's ExprIds. Z3 hash-conses ASTs per context, so membership is a
+  // pointer comparison between each translated assumption and the core
+  // terms. Duplicate assumptions translating to one term are all reported
+  // (each was genuinely assumed).
+  void extract_core(const std::vector<ExprId>& assumptions,
+                    const z3::expr_vector& av) {
+    try {
+      const z3::expr_vector z3core = solver_.unsat_core();
+      std::vector<ExprId> core;
+      for (unsigned i = 0; i < av.size(); ++i) {
+        const Z3_ast ai = static_cast<Z3_ast>(av[i]);
+        for (unsigned k = 0; k < z3core.size(); ++k) {
+          if (static_cast<Z3_ast>(z3core[k]) == ai) {
+            core.push_back(assumptions[i]);
+            break;
+          }
+        }
+      }
+      store_core(std::move(core));
+    } catch (const z3::exception&) {
+      // A missing core is diagnostics lost, never a failed check.
+    }
   }
 
   void extract_model() {

@@ -5,12 +5,24 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "smt/solver.hpp"
 
 namespace advocat::testing {
+
+/// Per-query solver timeout for tests that bound slow paths. Defaults to
+/// `fallback`; ADVOCAT_TEST_TIMEOUT_MS overrides it globally so CI smoke
+/// runs can tighten every such bound in one place instead of editing
+/// scattered magic numbers (0 disables the timeout entirely).
+inline unsigned test_timeout_ms(unsigned fallback) {
+  if (const char* s = std::getenv("ADVOCAT_TEST_TIMEOUT_MS")) {
+    return static_cast<unsigned>(std::strtoul(s, nullptr, 10));
+  }
+  return fallback;
+}
 
 inline std::vector<smt::Backend> solver_backends() {
   std::vector<smt::Backend> out{smt::Backend::Native};

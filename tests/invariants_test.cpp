@@ -186,9 +186,15 @@ TEST(FlowCompletion, InitialStateSatisfiable) {
 // with empty queues (the invariant evaluates to -1 = 0).
 TEST(FlowCompletion, UnreachableStateRejected) {
   if (!smt::backend_available(smt::Backend::Z3)) {
-    GTEST_SKIP() << "refuting an infeasible flow system needs the Z3 "
-                    "backend; the native solver's interval propagation "
-                    "diverges on it and degrades to Unknown (ROADMAP item)";
+    // The one remaining native gap: this refutation needs *exact*
+    // reasoning on an infeasible integer-flow equality system, where
+    // interval propagation diverges (bounds walk one unit per lap) and
+    // CDCL cannot help — no finite atom combination is refuted, the
+    // theory itself never concludes. The in-tree rational eliminator
+    // (src/linalg) is the planned cure; see the ROADMAP open item.
+    GTEST_SKIP() << "refuting an infeasible unbounded flow system needs "
+                    "exact elimination (linalg ROADMAP item); the native "
+                    "interval core degrades to Unknown by design";
   }
   testing::RunningExample rx;
   const xmas::Typing typing = xmas::Typing::derive(rx.net);

@@ -60,10 +60,13 @@ TEST_P(QueueSizing, FindsTheKnownBoundary) {
   o.verify = options();
   const QueueSizingResult r = find_minimal_queue_size(make, o);
   EXPECT_EQ(r.minimal_capacity, 3u);  // the paper's 2x2 value
-  // Probes must include a failing and a succeeding capacity.
+  // Probes must include a failing and a succeeding capacity, and every
+  // verdict must be definite on this small instance.
   bool saw_bad = false;
   bool saw_good = false;
-  for (const auto& [cap, free] : r.probes) {
+  EXPECT_EQ(r.unknown_probes, 0u);
+  for (const auto& [cap, verdict] : r.probes) {
+    const bool free = verdict == smt::SatResult::Unsat;
     saw_bad |= !free;
     saw_good |= free;
     if (free) EXPECT_GE(cap, 3u);
