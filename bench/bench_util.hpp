@@ -102,7 +102,10 @@ class JsonLine {
         .field("learned_clauses", static_cast<std::size_t>(s.learned_clauses))
         .field("deleted_clauses", static_cast<std::size_t>(s.deleted_clauses))
         .field("learned_kept", s.learned_kept)
-        .field("learned_hits", static_cast<std::size_t>(s.learned_hits));
+        .field("learned_hits", static_cast<std::size_t>(s.learned_hits))
+        .field("theory_pivots", static_cast<std::size_t>(s.theory_pivots))
+        .field("farkas_explanations",
+               static_cast<std::size_t>(s.farkas_explanations));
   }
 
   /// Prints `BENCH_JSON {...}` on its own line.

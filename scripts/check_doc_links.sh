@@ -1,0 +1,46 @@
+#!/bin/sh
+# Checks that every relative markdown link in the repo docs resolves to an
+# existing file, so docs/ can't silently rot as code moves.
+#
+# Usage: scripts/check_doc_links.sh [file.md ...]
+#   With no arguments, checks README.md and docs/*.md from the repo root.
+#
+# A link is every `](target)` occurrence. External targets (scheme:// or
+# mailto:) and pure in-page anchors (#...) are skipped; a trailing #anchor
+# on a file target is stripped before the existence check (anchor validity
+# is not checked). Exit status 1 when any target is missing.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -gt 0 ]; then
+  files="$*"
+else
+  files="README.md docs/*.md"
+fi
+
+status=0
+checked=0
+for f in $files; do
+  [ -f "$f" ] || { echo "check_doc_links: no such file: $f" >&2; status=1; continue; }
+  dir=$(dirname "$f")
+  # One target per line: grab the (...) of every ](...) occurrence.
+  # Read line-wise (no word splitting) so targets with spaces survive.
+  while IFS= read -r target; do
+    case "$target" in
+      *://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "check_doc_links: $f: broken link -> $target" >&2
+      status=1
+    fi
+  done <<EOF
+$(grep -o ']([^)]*)' "$f" | sed 's/^](//; s/)$//')
+EOF
+done
+
+echo "check_doc_links: $checked relative links checked" >&2
+exit $status

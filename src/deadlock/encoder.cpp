@@ -38,6 +38,10 @@ smt::ExprId Encoder::occ(PrimId queue, ColorId d) {
   return f_.int_var(occ_var_name(net_, queue, d));
 }
 
+smt::ExprId Encoder::nonneg(smt::ExprId v) {
+  return f_.ge(v, f_.int_const(0));
+}
+
 smt::ExprId Encoder::state(int automaton_index, int s) {
   return f_.int_var(state_var_name(net_, automaton_index, s));
 }
@@ -277,19 +281,21 @@ Encoding Encoder::encode() {
   encoded_ = true;
   Encoding enc;
 
-  // Structural constraints for every queue and automaton.
+  // Structural constraints for every queue and automaton — each emitted
+  // in the canonical theory-row shape (variables left, constant right),
+  // so the solver's interval and simplex layers consume them directly.
   for (PrimId qid : net_.prims_of_kind(PrimKind::Queue)) {
     const Primitive& q = net_.prim(qid);
     const smt::ExprId cap = capacity_expr(qid);
     if (options_.symbolic_capacities) {
       enc.capacity_vars.emplace_back(qid, cap);
-      enc.structural.push_back(f_.ge(cap, f_.int_const(0)));
+      enc.structural.push_back(nonneg(cap));
     }
     const ColorSet& stored = typing_.of(q.in[0]);
     std::vector<smt::ExprId> occs;
     for (ColorId d : stored) {
       const smt::ExprId v = occ(qid, d);
-      enc.structural.push_back(f_.ge(v, f_.int_const(0)));
+      enc.structural.push_back(nonneg(v));
       occs.push_back(v);
     }
     if (!occs.empty()) {
@@ -301,7 +307,7 @@ Encoding Encoder::encode() {
     std::vector<smt::ExprId> states;
     for (int s = 0; s < a.num_states(); ++s) {
       const smt::ExprId v = state(static_cast<int>(ai), s);
-      enc.structural.push_back(f_.ge(v, f_.int_const(0)));
+      enc.structural.push_back(nonneg(v));
       enc.structural.push_back(f_.le(v, f_.int_const(1)));
       states.push_back(v);
     }

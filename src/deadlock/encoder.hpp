@@ -100,6 +100,11 @@ class Encoder {
   /// EncoderOptions::symbolic_capacities, the baked-in constant otherwise.
   smt::ExprId capacity_expr(xmas::PrimId queue);
 
+  /// `0 ≤ v` in the canonical single-variable theory-row shape (see
+  /// smt/rows.hpp): every structural constraint the encoder emits is a
+  /// row the solver's theory layers consume directly.
+  smt::ExprId nonneg(smt::ExprId v);
+
   /// Block of a transformation result: block(o, d') or false for ⊥.
   smt::ExprId block_of_emission(const xmas::Primitive& prim,
                                 const std::optional<xmas::Emission>& em);

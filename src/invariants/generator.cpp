@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "linalg/eliminator.hpp"
+#include "smt/rows.hpp"
 #include "util/stopwatch.hpp"
 
 namespace advocat::inv {
@@ -288,21 +289,18 @@ std::vector<std::string> InvariantSet::to_strings() const {
 }
 
 std::vector<smt::ExprId> InvariantSet::to_smt(smt::ExprFactory& f) const {
+  // Canonical theory-row shape (smt/rows.hpp): a row shared with the
+  // flow-completion system hash-conses to the same expression and lands
+  // on the same theory atom in the native backend.
   std::vector<smt::ExprId> out;
-  auto linear = [&](const linalg::SparseRow& row) {
-    std::vector<smt::ExprId> terms;
-    for (const auto& e : row.entries()) {
-      terms.push_back(f.mul_const(e.coeff.num().to_int64(),
-                                  f.int_var(vars->smt_name(e.col))));
-    }
-    terms.push_back(f.int_const(row.constant().num().to_int64()));
-    return f.add(std::move(terms));
+  auto var_of = [&](std::int32_t col) {
+    return f.int_var(vars->smt_name(col));
   };
   for (const auto& row : equalities) {
-    out.push_back(f.eq(linear(row), f.int_const(0)));
+    out.push_back(smt::row_expr(f, row, var_of, /*is_eq=*/true));
   }
   for (const auto& row : inequalities) {
-    out.push_back(f.le(linear(row), f.int_const(0)));
+    out.push_back(smt::row_expr(f, row, var_of, /*is_eq=*/false));
   }
   return out;
 }
@@ -324,12 +322,7 @@ std::vector<smt::ExprId> flow_completion_smt(const xmas::Network& net,
     }
   }
   for (const SparseRow& row : rows) {
-    std::vector<smt::ExprId> terms;
-    for (const auto& e : row.entries()) {
-      terms.push_back(f.mul_const(e.coeff.num().to_int64(), col_var(e.col)));
-    }
-    terms.push_back(f.int_const(row.constant().num().to_int64()));
-    out.push_back(f.eq(f.add(std::move(terms)), f.int_const(0)));
+    out.push_back(smt::row_expr(f, row, col_var, /*is_eq=*/true));
   }
   return out;
 }

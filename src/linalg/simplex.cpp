@@ -1,0 +1,218 @@
+#include "linalg/simplex.hpp"
+
+#include <algorithm>
+
+namespace advocat::linalg {
+
+int Simplex::new_var() {
+  vars_.emplace_back();
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+int Simplex::var(std::int32_t col) {
+  const auto it = std::lower_bound(
+      col_index_.begin(), col_index_.end(), col,
+      [](const auto& entry, std::int32_t c) { return entry.first < c; });
+  if (it != col_index_.end() && it->first == col) return it->second;
+  const int v = new_var();
+  col_index_.insert(it, {col, v});
+  return v;
+}
+
+int Simplex::add_slack(
+    const std::vector<std::pair<std::int32_t, std::int64_t>>& terms) {
+  // Expand the form over the *current* non-basic variables: a problem
+  // variable that is basic is replaced by its row, so the new row respects
+  // the tableau invariant from the start.
+  SparseRow expr;
+  Rational beta;
+  for (const auto& [col, coeff] : terms) {
+    const int x = var(col);
+    const Rational c(coeff);
+    const VarState& vs = vars_[static_cast<std::size_t>(x)];
+    if (vs.basic_row >= 0) {
+      expr.add_scaled(rows_[static_cast<std::size_t>(vs.basic_row)].expr, c);
+    } else {
+      expr.add(x, c);
+    }
+    beta += c * vs.beta;
+  }
+  const int s = new_var();
+  vars_[static_cast<std::size_t>(s)].beta = std::move(beta);
+  vars_[static_cast<std::size_t>(s)].basic_row =
+      static_cast<int>(rows_.size());
+  rows_.push_back(TableauRow{s, std::move(expr)});
+  return s;
+}
+
+void Simplex::retract_to(std::size_t mark) {
+  while (trail_.size() > mark) {
+    TrailEntry& e = trail_.back();
+    VarState& vs = vars_[static_cast<std::size_t>(e.var)];
+    if (e.is_hi) {
+      vs.has_hi = e.had;
+      vs.hi = std::move(e.old_bound);
+      vs.hi_tag = e.old_tag;
+    } else {
+      vs.has_lo = e.had;
+      vs.lo = std::move(e.old_bound);
+      vs.lo_tag = e.old_tag;
+    }
+    trail_.pop_back();
+  }
+  // Bounds only loosened: non-basic variables remain inside theirs, so the
+  // current vertex is still a valid starting point for the next check().
+}
+
+bool Simplex::assert_upper(int x, const Rational& b, int tag) {
+  VarState& vs = vars_[static_cast<std::size_t>(x)];
+  if (vs.has_hi && vs.hi <= b) return true;  // keep the tighter bound
+  if (vs.has_lo && b < vs.lo) {
+    farkas_ = {{tag, Rational(1)}, {vs.lo_tag, Rational(1)}};
+    ++stats_.conflicts;
+    return false;
+  }
+  trail_.push_back(TrailEntry{x, true, vs.has_hi, vs.hi, vs.hi_tag});
+  vs.has_hi = true;
+  vs.hi = b;
+  vs.hi_tag = tag;
+  if (vs.basic_row < 0 && vs.beta > b) update(x, b);
+  return true;
+}
+
+bool Simplex::assert_lower(int x, const Rational& b, int tag) {
+  VarState& vs = vars_[static_cast<std::size_t>(x)];
+  if (vs.has_lo && vs.lo >= b) return true;
+  if (vs.has_hi && vs.hi < b) {
+    farkas_ = {{tag, Rational(1)}, {vs.hi_tag, Rational(1)}};
+    ++stats_.conflicts;
+    return false;
+  }
+  trail_.push_back(TrailEntry{x, false, vs.has_lo, vs.lo, vs.lo_tag});
+  vs.has_lo = true;
+  vs.lo = b;
+  vs.lo_tag = tag;
+  if (vs.basic_row < 0 && vs.beta < b) update(x, b);
+  return true;
+}
+
+void Simplex::update(int x, const Rational& v) {
+  const Rational delta = v - vars_[static_cast<std::size_t>(x)].beta;
+  for (const TableauRow& row : rows_) {
+    const Rational c = row.expr.coeff(x);
+    if (!c.is_zero()) {
+      vars_[static_cast<std::size_t>(row.owner)].beta += c * delta;
+    }
+  }
+  vars_[static_cast<std::size_t>(x)].beta = v;
+}
+
+void Simplex::pivot_and_update(int leave, int enter, const Rational& v) {
+  if (tick_) tick_();  // deadline poll before any mutation
+  ++stats_.pivots;
+  const std::size_t ri =
+      static_cast<std::size_t>(vars_[static_cast<std::size_t>(leave)].basic_row);
+  const Rational a = rows_[ri].expr.coeff(enter);
+
+  // Value update (DdM pivotAndUpdate): leave moves to its bound, enter
+  // absorbs the change, every other basic row follows.
+  const Rational theta =
+      (v - vars_[static_cast<std::size_t>(leave)].beta) / a;
+  vars_[static_cast<std::size_t>(leave)].beta = v;
+  vars_[static_cast<std::size_t>(enter)].beta += theta;
+  for (const TableauRow& row : rows_) {
+    if (row.owner == leave) continue;
+    const Rational c = row.expr.coeff(enter);
+    if (!c.is_zero()) {
+      vars_[static_cast<std::size_t>(row.owner)].beta += c * theta;
+    }
+  }
+
+  // Row pivot: from  leave = a·enter + rest  derive
+  // enter = (1/a)·leave − rest/a  and substitute in every other row.
+  SparseRow nr = rows_[ri].expr;
+  nr.add(enter, -a);            // rest
+  nr.scale(-a.reciprocal());    // −rest/a
+  nr.add(leave, a.reciprocal());
+  for (TableauRow& row : rows_) {
+    if (row.owner == leave) continue;
+    const Rational c = row.expr.coeff(enter);
+    if (!c.is_zero()) {
+      row.expr.add(enter, -c);
+      row.expr.add_scaled(nr, c);
+    }
+  }
+  rows_[ri].owner = enter;
+  rows_[ri].expr = std::move(nr);
+  vars_[static_cast<std::size_t>(enter)].basic_row = static_cast<int>(ri);
+  vars_[static_cast<std::size_t>(leave)].basic_row = -1;
+}
+
+void Simplex::explain_row(int x, bool below) {
+  // x is basic, stuck outside its bound: every non-basic in its row is at
+  // the binding bound of the blocking sign. The certificate is the row
+  // variable's violated bound (multiplier 1) plus those binding bounds
+  // weighted by |coefficient| — summing the ≤-forms cancels all variables
+  // (the tableau row is an identity) and leaves 0 ≤ βx − bound < 0.
+  farkas_.clear();
+  const VarState& vs = vars_[static_cast<std::size_t>(x)];
+  farkas_.push_back(
+      {below ? vs.lo_tag : vs.hi_tag, Rational(1)});
+  const SparseRow& expr =
+      rows_[static_cast<std::size_t>(vs.basic_row)].expr;
+  for (const Entry& e : expr.entries()) {
+    const VarState& u = vars_[static_cast<std::size_t>(e.col)];
+    const bool at_hi = below ? !e.coeff.is_negative() : e.coeff.is_negative();
+    farkas_.push_back({at_hi ? u.hi_tag : u.lo_tag,
+                       e.coeff.is_negative() ? -e.coeff : e.coeff});
+  }
+  ++stats_.conflicts;
+}
+
+bool Simplex::check() {
+  ++stats_.checks;
+  for (;;) {
+    if (tick_) tick_();
+    // Bland's rule: smallest violating basic variable.
+    int x = -1;
+    bool below = false;
+    for (std::size_t v = 0; v < vars_.size(); ++v) {
+      const VarState& vs = vars_[v];
+      if (vs.basic_row < 0) continue;
+      if (vs.has_lo && vs.beta < vs.lo) {
+        x = static_cast<int>(v);
+        below = true;
+        break;
+      }
+      if (vs.has_hi && vs.beta > vs.hi) {
+        x = static_cast<int>(v);
+        below = false;
+        break;
+      }
+    }
+    if (x < 0) return true;
+
+    const VarState& vs = vars_[static_cast<std::size_t>(x)];
+    const SparseRow& expr =
+        rows_[static_cast<std::size_t>(vs.basic_row)].expr;
+    // Smallest suitable entering variable (entries are sorted by id).
+    int enter = -1;
+    for (const Entry& e : expr.entries()) {
+      const VarState& u = vars_[static_cast<std::size_t>(e.col)];
+      const bool want_up = below == !e.coeff.is_negative();
+      const bool can = want_up ? (!u.has_hi || u.beta < u.hi)
+                               : (!u.has_lo || u.beta > u.lo);
+      if (can) {
+        enter = e.col;
+        break;
+      }
+    }
+    if (enter < 0) {
+      explain_row(x, below);
+      return false;
+    }
+    pivot_and_update(x, enter, below ? vs.lo : vs.hi);
+  }
+}
+
+}  // namespace advocat::linalg

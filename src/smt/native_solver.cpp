@@ -1,5 +1,7 @@
-// In-tree CDCL(T) solver for the bounded linear-integer encodings.
-// See native_solver.hpp for the algorithm overview.
+// In-tree CDCL(T) solver for the linear-integer encodings.
+// See native_solver.hpp for the algorithm overview and smt/theory.hpp for
+// the seam between the two theory layers (interval propagation here, the
+// exact rational simplex in smt/simplex_theory.hpp).
 //
 // Search core (since PR 4): conflict-driven clause learning in the
 // MiniSat lineage — first-UIP conflict analysis with clause minimization,
@@ -28,11 +30,15 @@
 #include <cstdlib>
 #include <limits>
 #include <map>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "smt/simplex_theory.hpp"
+#include "smt/theory.hpp"
 
 namespace advocat::smt {
 namespace {
@@ -78,11 +84,10 @@ inline bool is_neg(Lit l) { return (l & 1) != 0; }
 
 enum Val : std::int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
 
-// Σ terms ≤ bound over integer-variable indices.
-struct StaticRow {
-  std::vector<std::pair<int, std::int64_t>> terms;
-  std::int64_t bound = 0;
-};
+// Σ terms ≤ bound over integer-variable indices — the shared theory-seam
+// row type (smt/theory.hpp): interval propagation and the simplex layer
+// consume the same activation stream and explain in the same tag space.
+using StaticRow = theory::Row;
 
 struct Atom {
   std::vector<std::pair<int, std::int64_t>> terms;
@@ -162,6 +167,8 @@ class NativeSolver final : public Solver {
   explicit NativeSolver(const ExprFactory& factory) : f_(factory) {
     true_var_ = new_bvar();
     def_units_.push_back(mk_lit(true_var_, false));
+    // The simplex layer honors the same deadline as every other loop.
+    stx_.set_tick([this] { bump_ops(); });
   }
 
   void add(ExprId assertion) override { roots_.push_back(assertion); }
@@ -297,6 +304,15 @@ class NativeSolver final : public Solver {
     if (a.terms.empty()) {
       const bool truth = a.is_eq ? (a.bound == 0) : (0 <= a.bound);
       return mk_lit(true_var_, !truth);
+    }
+    if (a.is_eq) {
+      // Divisibility cut at translation time: Σ c·x = b with gcd(c) ∤ b
+      // has no integer solution, so the atom is the constant false (and
+      // its negation, the disequality, the constant true) — no search
+      // ever has to discover it.
+      std::int64_t g = 0;
+      for (const auto& [v, c] : a.terms) g = std::gcd(g, c < 0 ? -c : c);
+      if (g > 1 && a.bound % g != 0) return mk_lit(true_var_, true);
     }
     if (a.is_eq && a.terms[0].second < 0) {  // canonical sign for dedup
       for (auto& t : a.terms) t.second = -t.second;
@@ -598,12 +614,66 @@ class NativeSolver final : public Solver {
     return false;
   }
 
+  /// Exact fallback for an exhausted tightening budget: on divergent
+  /// systems — some active variable still unbounded; a bounded system's
+  /// fixpoint always converges, it is merely large — the rational simplex
+  /// decides the active rows (plus branch-and-bound pins) outright. An
+  /// infeasibility lands its Farkas tags in sconf_rows_/sconf_pins_ and
+  /// becomes the theory conflict, so an infeasible unbounded flow cycle is
+  /// refuted in a handful of pivots instead of walked one unit at a time.
+  bool simplex_refute() {
+    bool unbounded = false;
+    for (const StaticRow* r : active_rows_) {
+      for (const auto& [v, c] : r->terms) {
+        (void)c;
+        if (lo_[static_cast<std::size_t>(v)] == kNegInf ||
+            hi_[static_cast<std::size_t>(v)] == kPosInf) {
+          unbounded = true;
+          break;
+        }
+      }
+      if (unbounded) break;
+    }
+    if (!unbounded) return false;
+    const SimplexTheory::Result res =
+        stx_.check(active_rows_, pin_trail_, /*integer_complete=*/false);
+    sync_theory_stats();
+    if (res.verdict != SimplexTheory::Verdict::Infeasible) return false;
+    sconf_rows_ = res.conflict_rows;
+    sconf_pins_ = res.conflict_pins;
+    conflict_row_ = -1;
+    conflict_var_ = -1;
+    return true;
+  }
+
+  void sync_theory_stats() {
+    mutable_stats().theory_pivots = stx_.pivots();
+    mutable_stats().farkas_explanations = stx_.explanations();
+  }
+
+  /// Turns the pending simplex conflict into theory_conflict_ literals:
+  /// the negated activating atoms of the Farkas rows. The ≤/≥ rows of one
+  /// equality atom share a literal, hence the dedup.
+  void emit_simplex_conflict() {
+    for (const int ri : sconf_rows_) {
+      theory_conflict_.push_back(
+          neg(active_row_lit_[static_cast<std::size_t>(ri)]));
+    }
+    std::sort(theory_conflict_.begin(), theory_conflict_.end());
+    theory_conflict_.erase(
+        std::unique(theory_conflict_.begin(), theory_conflict_.end()),
+        theory_conflict_.end());
+    sconf_rows_.clear();
+    sconf_pins_.clear();
+  }
+
   bool propagate_rows() {
     std::uint64_t budget = 64 * active_rows_.size() + 1024;
     while (!row_work_.empty()) {
       if (budget == 0) {
         row_work_.clear();
-        return scan_violated_row();
+        if (scan_violated_row()) return true;
+        return simplex_refute();
       }
       bump_ops();
       const int ri = row_work_.back();
@@ -1498,6 +1568,7 @@ class NativeSolver final : public Solver {
       ++undo_era_;
       set_bound(best, false, val, pin_src(best));
       set_bound(best, true, val, pin_src(best));
+      pin_trail_.push_back(theory::Pin{best, val});
       row_work_.clear();
       for (int rj : row_occ_[static_cast<std::size_t>(best)]) {
         row_work_.push_back(rj);
@@ -1505,15 +1576,29 @@ class NativeSolver final : public Solver {
       value_pins.clear();
       bool refuted = false;
       if (propagate_rows()) {
-        expl_begin();
-        seed_row_conflict();
-        expl_run(nullptr, &value_pins);
+        if (!sconf_rows_.empty() || !sconf_pins_.empty()) {
+          // Simplex refutation: the Farkas certificate names the pins it
+          // used directly — exactly the conflict set the backjumping
+          // wants. The rows are boolean-level context covered by the
+          // blocking clause learned at the leaf.
+          for (const int pi : sconf_pins_) {
+            const int pv = pin_trail_[static_cast<std::size_t>(pi)].var;
+            if (!pins_contain(value_pins, pv)) value_pins.push_back(pv);
+          }
+          sconf_rows_.clear();
+          sconf_pins_.clear();
+        } else {
+          expl_begin();
+          seed_row_conflict();
+          expl_run(nullptr, &value_pins);
+        }
         refuted = true;
       } else {
         const SatResult r = int_branch(branch_vars, value_pins);
         if (r == SatResult::Sat) {
           undo_to(mark);
           rewind_blog(bmark);
+          pin_trail_.pop_back();
           return SatResult::Sat;
         }
         if (r == SatResult::Unknown) unknown = true;
@@ -1521,6 +1606,7 @@ class NativeSolver final : public Solver {
       }
       undo_to(mark);
       rewind_blog(bmark);
+      pin_trail_.pop_back();
       if (refuted && !pins_contain(value_pins, best)) {
         // The refutation never used best's pin: it holds for every value
         // of best (even ones probed earlier with an Unknown verdict) —
@@ -1550,6 +1636,62 @@ class NativeSolver final : public Solver {
     }
     expl_run(nullptr, &conflict_pins);
     return SatResult::Unsat;
+  }
+
+  /// Final-check rescue for a leaf the branch-and-bound search degraded to
+  /// Unknown: the simplex decides the active rows exactly — rationally
+  /// and, via branch-on-rational-vertex cuts, over the integers. Unsat
+  /// leaves the Farkas rows in sconf_rows_ for the caller's blocking
+  /// clause; Sat pins the integer witness and captures the model; a blown
+  /// branch budget (or an active disequality the witness misses — the
+  /// simplex never sees disequalities) keeps the honest Unknown.
+  SatResult simplex_rescue() {
+    const SimplexTheory::Result res =
+        stx_.check(active_rows_, /*pins=*/{}, /*integer_complete=*/true);
+    sync_theory_stats();
+    switch (res.verdict) {
+      case SimplexTheory::Verdict::Infeasible:
+        sconf_rows_ = res.conflict_rows;
+        sconf_pins_.clear();  // no pins were passed
+        return SatResult::Unsat;
+      case SimplexTheory::Verdict::IntegerModel: {
+        const std::size_t mark = undo_.size();
+        const std::size_t bmark = blog_.size();
+        ++undo_era_;
+        for (const theory::Pin& p : res.model) {
+          set_bound(p.var, false, p.value, pin_src(p.var));
+          set_bound(p.var, true, p.value, pin_src(p.var));
+        }
+        bool diseqs_ok = true;
+        for (const int ai : active_diseqs_) {
+          const Atom& a = atoms_[static_cast<std::size_t>(ai)];
+          __int128 sum = 0;
+          bool fixed = true;
+          for (const auto& [v, c] : a.terms) {
+            const std::int64_t lo = lo_[static_cast<std::size_t>(v)];
+            if (lo == kNegInf || lo != hi_[static_cast<std::size_t>(v)]) {
+              fixed = false;  // variable outside the active rows: unknown
+              break;
+            }
+            sum += static_cast<__int128>(c) * lo;
+          }
+          if (!fixed || sum == a.bound) {
+            diseqs_ok = false;
+            break;
+          }
+        }
+        if (diseqs_ok) {
+          capture_model();
+          return SatResult::Sat;
+        }
+        undo_to(mark);
+        rewind_blog(bmark);
+        return SatResult::Unknown;
+      }
+      case SimplexTheory::Verdict::Feasible:
+        break;  // rationally feasible, integer-open: stay Unknown
+    }
+    return SatResult::Unknown;
   }
 
   SatResult int_complete() {
@@ -1613,6 +1755,9 @@ class NativeSolver final : public Solver {
     qhead_ = theory_head_ = 0;
     active_diseqs_.clear();
     row_work_.clear();
+    pin_trail_.clear();  // a Timeout can unwind past the leaf search's pops
+    sconf_rows_.clear();
+    sconf_pins_.clear();
     clear_dirty();
 
     // Compact the clause arena: drop tombstones and tainted clauses. Safe
@@ -1738,19 +1883,26 @@ class NativeSolver final : public Solver {
       if (confl.kind != Conflict::kNone) {
         theory_conflict_.clear();
         if (confl.kind == Conflict::kTheory) {
-          // Provenance expansion of the conflict: the negated atoms whose
-          // rows actually produced the contradiction.
-          expl_begin();
-          const int now = static_cast<int>(blog_.size());
-          if (conflict_row_ >= 0) {
-            expl_seed_row(conflict_row_, now, &theory_conflict_);
+          if (!sconf_rows_.empty() || !sconf_pins_.empty()) {
+            // Farkas conflict: the refutation names its rows directly (no
+            // pins can exist during boolean search — the pin trail is
+            // empty outside the integer leaf search).
+            emit_simplex_conflict();
           } else {
-            for (const bool hi : {false, true}) {
-              const int e = entry_before(bnode(conflict_var_, hi), now);
-              if (e >= 0) expl_push(e);
+            // Provenance expansion of the conflict: the negated atoms
+            // whose rows actually produced the contradiction.
+            expl_begin();
+            const int now = static_cast<int>(blog_.size());
+            if (conflict_row_ >= 0) {
+              expl_seed_row(conflict_row_, now, &theory_conflict_);
+            } else {
+              for (const bool hi : {false, true}) {
+                const int e = entry_before(bnode(conflict_var_, hi), now);
+                if (e >= 0) expl_push(e);
+              }
             }
+            expl_run(&theory_conflict_, nullptr);
           }
-          expl_run(&theory_conflict_, nullptr);
         }
         const std::vector<Lit>& lits =
             confl.kind == Conflict::kClause
@@ -1789,16 +1941,24 @@ class NativeSolver final : public Solver {
         (void)ok;  // unassigned by construction
         continue;
       }
-      // Full boolean assignment: complete (or refute) the integer domains.
-      const SatResult leaf = int_complete();
+      // Full boolean assignment: complete (or refute) the integer domains;
+      // a degraded leaf gets the exact simplex as a second opinion.
+      SatResult leaf = int_complete();
+      if (leaf == SatResult::Unknown) leaf = simplex_rescue();
       if (leaf == SatResult::Sat) return SatResult::Sat;
       if (leaf == SatResult::Unknown) saw_unknown_ = true;
       // Block this combination of theory atoms. For a refuted leaf the
-      // blocking clause is a theory lemma; for an Unknown leaf it is
-      // *not* entailed — it (and everything learned after it) is tainted
-      // and the final Unsat degrades to Unknown.
+      // blocking clause is a theory lemma — the exact Farkas atoms when
+      // the simplex produced the refutation, the full asserted-atom set
+      // otherwise; for an Unknown leaf it is *not* entailed — it (and
+      // everything learned after it) is tainted and the final Unsat
+      // degrades to Unknown.
       theory_conflict_.clear();
-      collect_theory_lits(true, trail_.size(), theory_conflict_);
+      if (!sconf_rows_.empty() || !sconf_pins_.empty()) {
+        emit_simplex_conflict();
+      } else {
+        collect_theory_lits(true, trail_.size(), theory_conflict_);
+      }
       if (!resolve_conflict(theory_conflict_, -1)) return finish_unsat();
       maybe_restart_or_reduce();
     }
@@ -1864,6 +2024,13 @@ class NativeSolver final : public Solver {
   std::uint64_t scan_gen_ = 0;
   bool saw_unknown_ = false;
   std::uint64_t int_budget_ = 0;
+
+  // Exact theory layer (tableau, basis and slack dedup persist for the
+  // session — the incremental half of the simplex; see simplex_theory.hpp).
+  SimplexTheory stx_;
+  std::vector<theory::Pin> pin_trail_;  // branch-and-bound pins in effect
+  std::vector<int> sconf_rows_;  // pending simplex conflict: row indices
+  std::vector<int> sconf_pins_;  // pending simplex conflict: pin indices
 
   // CDCL working state.
   std::vector<double> activity_;

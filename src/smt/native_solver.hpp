@@ -24,10 +24,19 @@
 //      remaining integer domains completes (or refutes) the assignment;
 //      refuted leaves are learned as blocking clauses over the theory
 //      atoms, so shared substructure is never re-refuted.
+//   5. Where intervals are structurally weak — tightening exhausts its
+//      budget with unbounded variables in play, or a leaf degrades — an
+//      exact rational simplex (smt/simplex_theory.hpp over
+//      linalg/simplex.hpp) decides the active rows outright: Farkas
+//      infeasibility explanations become learned theory clauses, and
+//      divisibility plus branch-on-rational-vertex cuts extend the
+//      refutations to the integers, so infeasible *unbounded* flow
+//      systems are refuted instead of degraded.
 //
-// When a variable is never bounded by the active constraints the solver
-// probes a finite window and degrades an exhausted search to Unknown
-// instead of claiming Unsat — Sat answers and models are always exact.
+// When neither theory concludes (e.g. the simplex branch budget runs out
+// on a rationally feasible, integer-open system) the solver degrades the
+// verdict to Unknown instead of claiming Unsat — Sat answers and models
+// are always exact.
 #pragma once
 
 #include <memory>

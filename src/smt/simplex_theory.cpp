@@ -1,0 +1,198 @@
+#include "smt/simplex_theory.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace advocat::smt {
+
+using linalg::Rational;
+using util::BigInt;
+
+namespace {
+
+// Internal tag space: rows keep their index (>= 0), pin p becomes -1-p,
+// and branch-on-vertex cut bounds use a reserved tag that is filtered out
+// of every explanation (over the integers the two branch bounds form a
+// tautology, so a refutation of both branches refutes the node without
+// them).
+constexpr int kBranchTag = std::numeric_limits<int>::min();
+inline int pin_tag(int p) { return -1 - p; }
+inline bool tag_is_pin(int t) { return t < 0 && t != kBranchTag; }
+
+// Branch-and-bound node budget per integer-complete check. Each node costs
+// one simplex re-check; an exhausted budget keeps the honest `Feasible`
+// (integer-open) verdict, which the solver degrades to Unknown as before.
+constexpr std::uint64_t kBranchBudget = 128;
+
+// floor of an exact rational as a BigInt (BigInt division truncates toward
+// zero, so negative non-integral quotients need the -1 adjustment).
+BigInt floor_big(const Rational& v) {
+  BigInt q = v.num() / v.den();
+  if (v.is_negative() && !(v.num() % v.den()).is_zero()) q -= BigInt(1);
+  return q;
+}
+
+}  // namespace
+
+SimplexTheory::SlackRef SimplexTheory::slack_for(const theory::Row& row) {
+  // Hot path: rows are stable immutable atom members, so re-activation
+  // across checks resolves by pointer with no string traffic.
+  const auto it = row_slack_.find(&row);
+  if (it != row_slack_.end()) return it->second;
+  const SlackRef ref = intern_slack(row);
+  row_slack_.emplace(&row, ref);
+  return ref;
+}
+
+SimplexTheory::SlackRef SimplexTheory::intern_slack(const theory::Row& row) {
+  // Canonical sign: leading coefficient positive. A negated form asserts
+  // mirrored bounds on the canonical slack, so an equality's ≤/≥ pair and
+  // every re-activation share one tableau row.
+  const bool negated = row.terms.front().second < 0;
+  std::string key;
+  for (const auto& [v, c] : row.terms) {
+    key += std::to_string(v) + "*" + std::to_string(negated ? -c : c) + ",";
+  }
+  auto it = slack_index_.find(key);
+  if (it != slack_index_.end()) return {it->second.var, negated};
+  std::vector<std::pair<std::int32_t, std::int64_t>> terms;
+  terms.reserve(row.terms.size());
+  for (const auto& [v, c] : row.terms) {
+    terms.emplace_back(static_cast<std::int32_t>(v), negated ? -c : c);
+  }
+  const SlackRef ref{spx_.add_slack(terms), false};
+  slack_index_.emplace(std::move(key), ref);
+  return {ref.var, negated};
+}
+
+bool SimplexTheory::assert_row(const theory::Row& row, int tag) {
+  if (row.terms.empty()) {  // constant row: 0 ≤ bound
+    return row.bound >= 0;  // on conflict the caller's tag alone explains
+  }
+  const SlackRef s = slack_for(row);
+  // Σ terms ≤ b  ⇔  canonical ≤ b   (positive sign)
+  //            ⇔  canonical ≥ −b   (negated sign)
+  return s.negated ? spx_.assert_lower(s.var, Rational(-row.bound), tag)
+                   : spx_.assert_upper(s.var, Rational(row.bound), tag);
+}
+
+void SimplexTheory::collect_farkas_tags(std::vector<int>& used) const {
+  for (const linalg::FarkasTerm& t : spx_.farkas()) {
+    if (t.tag != kBranchTag) used.push_back(t.tag);
+  }
+}
+
+SimplexTheory::Verdict SimplexTheory::branch(const std::vector<int>& int_vars,
+                                             int depth,
+                                             std::vector<int>& used,
+                                             Result& out) {
+  // Precondition: bounds feasible over the rationals (spx_.check() held).
+  int frac = -1;
+  for (const int v : int_vars) {
+    if (!spx_.value(spx_.var(v)).is_integer()) {
+      frac = v;
+      break;
+    }
+  }
+  if (frac < 0) {
+    out.model.clear();
+    for (const int v : int_vars) {
+      const Rational& val = spx_.value(spx_.var(v));
+      if (!val.num().fits_int64()) return Verdict::Feasible;  // honest open
+      out.model.push_back(theory::Pin{v, val.num().to_int64()});
+    }
+    return Verdict::IntegerModel;
+  }
+  if (branch_budget_ == 0 || depth > 64) return Verdict::Feasible;
+  --branch_budget_;
+
+  const int ext = spx_.var(frac);
+  const Rational f(floor_big(spx_.value(ext)));
+  auto probe = [&](bool upper_branch) {
+    const std::size_t mark = spx_.mark();
+    Verdict v;
+    const bool ok = upper_branch
+                        ? spx_.assert_lower(ext, f + Rational(1), kBranchTag)
+                        : spx_.assert_upper(ext, f, kBranchTag);
+    if (!ok || !spx_.check()) {
+      collect_farkas_tags(used);
+      v = Verdict::Infeasible;
+    } else {
+      v = branch(int_vars, depth + 1, used, out);
+    }
+    spx_.retract_to(mark);
+    return v;
+  };
+  const Verdict lo = probe(false);
+  if (lo == Verdict::IntegerModel) return lo;
+  const Verdict hi = probe(true);
+  if (hi == Verdict::IntegerModel) return hi;
+  if (lo == Verdict::Infeasible && hi == Verdict::Infeasible) {
+    return Verdict::Infeasible;  // x ≤ ⌊v⌋ ∨ x ≥ ⌊v⌋+1 is an integer tautology
+  }
+  return Verdict::Feasible;
+}
+
+SimplexTheory::Result SimplexTheory::check(
+    const std::vector<const theory::Row*>& rows,
+    const std::vector<theory::Pin>& pins, bool integer_complete) {
+  spx_.retract_to(0);
+  Result out;
+  std::vector<int> used;
+  bool conflict = false;
+
+  for (std::size_t i = 0; i < rows.size() && !conflict; ++i) {
+    if (!assert_row(*rows[i], static_cast<int>(i))) {
+      if (rows[i]->terms.empty()) {
+        used.push_back(static_cast<int>(i));  // 0 ≤ negative, alone
+      } else {
+        collect_farkas_tags(used);
+      }
+      conflict = true;
+    }
+  }
+  for (std::size_t p = 0; p < pins.size() && !conflict; ++p) {
+    const int ext = spx_.var(pins[p].var);
+    const Rational v(pins[p].value);
+    if (!spx_.assert_upper(ext, v, pin_tag(static_cast<int>(p))) ||
+        !spx_.assert_lower(ext, v, pin_tag(static_cast<int>(p)))) {
+      collect_farkas_tags(used);
+      conflict = true;
+    }
+  }
+
+  if (!conflict) {
+    if (spx_.check()) {
+      if (!integer_complete) return out;  // Feasible
+      std::vector<int> int_vars;
+      for (const theory::Row* r : rows) {
+        for (const auto& [v, c] : r->terms) {
+          (void)c;
+          int_vars.push_back(v);
+        }
+      }
+      for (const theory::Pin& p : pins) int_vars.push_back(p.var);
+      std::sort(int_vars.begin(), int_vars.end());
+      int_vars.erase(std::unique(int_vars.begin(), int_vars.end()),
+                     int_vars.end());
+      branch_budget_ = kBranchBudget;
+      out.verdict = branch(int_vars, 0, used, out);
+      if (out.verdict != Verdict::Infeasible) return out;
+    } else {
+      collect_farkas_tags(used);
+    }
+  }
+
+  // Infeasible: map the internal tags back onto the caller's rows/pins.
+  out.verdict = Verdict::Infeasible;
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  for (const int t : used) {
+    if (tag_is_pin(t)) out.conflict_pins.push_back(-1 - t);
+    else out.conflict_rows.push_back(t);
+  }
+  ++explanations_;
+  return out;
+}
+
+}  // namespace advocat::smt

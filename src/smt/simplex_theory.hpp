@@ -1,0 +1,93 @@
+// Exact linear-arithmetic theory layer: bridges the native solver's active
+// row/pin state onto the incremental rational simplex (linalg/simplex.hpp).
+//
+// The bridge owns one persistent Simplex per solver session. Tableau
+// structure is permanent and deduplicated: each distinct linear form gets
+// one slack variable, keyed by its canonical sign (leading coefficient
+// positive), so the ≤ and ≥ rows of one equality atom — and re-activations
+// of the same row across checks and probes — all land on the same slack.
+// Per check() call only the *bounds* are (re)asserted, and the basis
+// persists, so repeated calls pivot from the previous vertex.
+//
+// Verdicts are exact or honest: `Infeasible` comes with a Farkas
+// explanation mapped back to row/pin tags (the SMT layer learns it as a
+// theory clause); `IntegerModel` is a full integer assignment for every
+// variable the active system mentions; `Feasible` means rationally
+// feasible but integer-openness remains (rational-only mode, or the
+// branch budget ran out) — the caller keeps its Unknown degradation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/simplex.hpp"
+#include "smt/theory.hpp"
+
+namespace advocat::smt {
+
+class SimplexTheory {
+ public:
+  enum class Verdict {
+    Feasible,      ///< rationally feasible; integers not decided
+    Infeasible,    ///< exact refutation; conflict_rows/conflict_pins set
+    IntegerModel,  ///< integer witness; model set
+  };
+
+  struct Result {
+    Verdict verdict = Verdict::Feasible;
+    /// Infeasible: indices into the `rows` argument the refutation used.
+    std::vector<int> conflict_rows;
+    /// Infeasible: indices into the `pins` argument the refutation used.
+    std::vector<int> conflict_pins;
+    /// IntegerModel: value per integer variable the system mentions.
+    std::vector<theory::Pin> model;
+  };
+
+  /// Decides the conjunction of the active rows (Σ terms ≤ bound each) and
+  /// pins (var = value each). With `integer_complete`, a rationally
+  /// feasible system is further decided over the integers by
+  /// branch-on-rational-vertex cuts under a node budget; without it the
+  /// rational verdict is returned as-is (cheap mode for mid-search calls).
+  Result check(const std::vector<const theory::Row*>& rows,
+               const std::vector<theory::Pin>& pins, bool integer_complete);
+
+  /// Cumulative counters, session-lifetime (mirrors SolveStats).
+  [[nodiscard]] std::uint64_t pivots() const { return spx_.stats().pivots; }
+  [[nodiscard]] std::uint64_t explanations() const { return explanations_; }
+
+  /// Deadline poll forwarded to every pivot (may throw; see Simplex).
+  void set_tick(std::function<void()> tick) { spx_.set_tick(std::move(tick)); }
+
+ private:
+  // Slack handle for a canonical form: negated forms assert mirrored
+  // bounds on the positively-signed slack.
+  struct SlackRef {
+    int var = -1;
+    bool negated = false;
+  };
+
+  SlackRef slack_for(const theory::Row& row);
+  SlackRef intern_slack(const theory::Row& row);
+  // Asserts row/pin bounds; returns false on immediate conflict.
+  bool assert_row(const theory::Row& row, int tag);
+  // Branch-on-rational-vertex integer completion; appends used non-branch
+  // tags to `used`. Returns the verdict for the current bound state.
+  Verdict branch(const std::vector<int>& int_vars, int depth,
+                 std::vector<int>& used, Result& out);
+  void collect_farkas_tags(std::vector<int>& used) const;
+
+  linalg::Simplex spx_;
+  // Two-level interning: by row identity (rows are stable, immutable atom
+  // members — re-activation across checks is the hot case and stays
+  // string-free), then by canonical form (distinct Row objects with the
+  // same form, e.g. the ≤/≥ halves of an equality, share one slack).
+  std::unordered_map<const theory::Row*, SlackRef> row_slack_;
+  std::unordered_map<std::string, SlackRef> slack_index_;
+  std::uint64_t explanations_ = 0;
+  std::uint64_t branch_budget_ = 0;  // per-check node budget (see .cpp)
+};
+
+}  // namespace advocat::smt

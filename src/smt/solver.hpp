@@ -47,6 +47,15 @@ struct SolveStats {
   /// incremental probes (capacity sizing). 0 means the learned clauses are
   /// dead weight; the sizing loops show millions.
   std::uint64_t learned_hits = 0;
+  /// Pivot steps performed by the exact simplex theory layer (native
+  /// backend only; see docs/SOLVER.md). Stays 0 on workloads the interval
+  /// theory decides alone — the simplex runs only where intervals are
+  /// structurally weak (unbounded flow systems, degraded leaves).
+  std::uint64_t theory_pivots = 0;
+  /// Farkas infeasibility explanations the simplex layer produced; each
+  /// one became a learned theory clause (or a conflict-directed backjump
+  /// inside the integer leaf search).
+  std::uint64_t farkas_explanations = 0;
 };
 
 [[nodiscard]] inline const char* to_string(SatResult r) {

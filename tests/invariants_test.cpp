@@ -3,6 +3,8 @@
 // state (cross-checked against the explicit-state explorer).
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
 #include <unordered_map>
 
 #include "coherence/mi_abstract.hpp"
@@ -13,6 +15,7 @@
 #include "sim/simulator.hpp"
 #include "xmas/typing.hpp"
 
+#include "backend_fixture.hpp"
 #include "helpers.hpp"
 
 namespace advocat::inv {
@@ -157,9 +160,15 @@ TEST_P(InvariantSoundness, HoldsOnAllReachableStates) {
 INSTANTIATE_TEST_SUITE_P(Capacities, InvariantSoundness,
                          ::testing::Values(1u, 2u, 3u));
 
+// Flow-completion checks run on every available backend: the native
+// solver's simplex theory layer must reach the same exact verdicts as Z3
+// on these unbounded systems.
+class FlowCompletion : public advocat::testing::BackendTest {};
+ADVOCAT_INSTANTIATE_BACKENDS(FlowCompletion);
+
 // The flow-completion constraints are satisfiable for the initial state
 // (all queues empty, automata initial) — a sanity anchor.
-TEST(FlowCompletion, InitialStateSatisfiable) {
+TEST_P(FlowCompletion, InitialStateSatisfiable) {
   testing::RunningExample rx;
   const xmas::Typing typing = xmas::Typing::derive(rx.net);
   smt::ExprFactory f;
@@ -177,25 +186,18 @@ TEST(FlowCompletion, InitialStateSatisfiable) {
       f.eq(f.int_var(state_var_name(rx.net, 0, 1)), f.int_const(0)));
   constraints.push_back(
       f.eq(f.int_var(state_var_name(rx.net, 1, 1)), f.int_const(0)));
-  auto solver = smt::make_solver(f);
+  auto solver = smt::make_solver(f, GetParam());
   for (auto e : constraints) solver->add(e);
   EXPECT_EQ(solver->check(), smt::SatResult::Sat);
 }
 
 // And unsatisfiable for the state the paper proves unreachable: (s0, t1)
-// with empty queues (the invariant evaluates to -1 = 0).
-TEST(FlowCompletion, UnreachableStateRejected) {
-  if (!smt::backend_available(smt::Backend::Z3)) {
-    // The one remaining native gap: this refutation needs *exact*
-    // reasoning on an infeasible integer-flow equality system, where
-    // interval propagation diverges (bounds walk one unit per lap) and
-    // CDCL cannot help — no finite atom combination is refuted, the
-    // theory itself never concludes. The in-tree rational eliminator
-    // (src/linalg) is the planned cure; see the ROADMAP open item.
-    GTEST_SKIP() << "refuting an infeasible unbounded flow system needs "
-                    "exact elimination (linalg ROADMAP item); the native "
-                    "interval core degrades to Unknown by design";
-  }
+// with empty queues (the invariant evaluates to -1 = 0). The λ/κ counters
+// are unbounded, so interval propagation alone cannot conclude — this was
+// the last Z3-only verdict in the repo until the simplex theory layer:
+// the native backend now refutes the flow system with an exact Farkas
+// certificate.
+TEST_P(FlowCompletion, UnreachableStateRejected) {
   testing::RunningExample rx;
   const xmas::Typing typing = xmas::Typing::derive(rx.net);
   smt::ExprFactory f;
@@ -212,10 +214,68 @@ TEST(FlowCompletion, UnreachableStateRejected) {
       f.eq(f.int_var(state_var_name(rx.net, 0, 1)), f.int_const(0)));
   constraints.push_back(
       f.eq(f.int_var(state_var_name(rx.net, 1, 0)), f.int_const(0)));
-  auto solver = smt::make_solver(f);
+  auto solver = smt::make_solver(f, GetParam());
   for (auto e : constraints) solver->add(e);
   EXPECT_EQ(solver->check(), smt::SatResult::Unsat);
+  if (GetParam() == smt::Backend::Native) {
+    EXPECT_GT(solver->solve_stats().farkas_explanations, 0u)
+        << "the native refutation must come from the simplex layer";
+  }
 }
+
+// Infeasible unbounded flow cycles of increasing size, the distilled
+// shape of the refutation above: nonnegative counters λ_0..λ_{n-1} with
+// λ_i − λ_{i+1 (mod n)} = 1 around the cycle. Summing the equalities
+// yields n = 0 — infeasible — but every λ is unbounded above, so the
+// interval fixpoint walks bounds one unit per lap forever; only an exact
+// theory concludes, at any cycle size.
+class InfeasibleUnboundedCycle
+    : public ::testing::TestWithParam<std::tuple<smt::Backend, int>> {};
+
+TEST_P(InfeasibleUnboundedCycle, RefutedExactly) {
+  const auto [backend, n] = GetParam();
+  smt::ExprFactory f;
+  auto solver = smt::make_solver(f, backend);
+  std::vector<smt::ExprId> lam;
+  for (int i = 0; i < n; ++i) {
+    lam.push_back(f.int_var("cyc_l" + std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    solver->add(f.ge(lam[static_cast<std::size_t>(i)], f.int_const(0)));
+    solver->add(
+        f.eq(f.add({lam[static_cast<std::size_t>(i)],
+                    f.mul_const(-1, lam[static_cast<std::size_t>((i + 1) % n)])}),
+             f.int_const(1)));
+  }
+  EXPECT_EQ(solver->check(), smt::SatResult::Unsat);
+
+  // Cutting one cycle edge leaves a satisfiable chain — the refutation is
+  // the cycle itself, not pessimism about unbounded counters.
+  smt::ExprFactory g;
+  auto chain = smt::make_solver(g, backend);
+  std::vector<smt::ExprId> mu;
+  for (int i = 0; i < n; ++i) {
+    mu.push_back(g.int_var("cyc_l" + std::to_string(i)));
+    chain->add(g.ge(mu.back(), g.int_const(0)));
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    chain->add(
+        g.eq(g.add({mu[static_cast<std::size_t>(i)],
+                    g.mul_const(-1, mu[static_cast<std::size_t>(i + 1)])}),
+             g.int_const(1)));
+  }
+  EXPECT_EQ(chain->check(), smt::SatResult::Sat);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cycles, InfeasibleUnboundedCycle,
+    ::testing::Combine(
+        ::testing::ValuesIn(advocat::testing::solver_backends()),
+        ::testing::Values(2, 3, 5, 8, 13)),
+    [](const ::testing::TestParamInfo<std::tuple<smt::Backend, int>>& info) {
+      return std::string(smt::to_string(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace advocat::inv

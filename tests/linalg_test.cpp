@@ -1,9 +1,13 @@
-// Sparse rows and the sweeping eliminator.
+// Sparse rows, the sweeping eliminator, and the incremental simplex.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <random>
+#include <utility>
+#include <vector>
 
 #include "linalg/eliminator.hpp"
+#include "linalg/simplex.hpp"
 #include "linalg/sparse_row.hpp"
 
 namespace advocat::linalg {
@@ -167,6 +171,214 @@ TEST_P(EliminatorProperty, SolutionsSurviveProjection) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EliminatorProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ----------------------------------------------------------------- simplex
+
+// Test-side ledger of asserted constraints, each as a ≤-form over problem
+// columns, so Farkas certificates can be validated by exact
+// re-substitution: Σ mult·lhs must cancel every column and Σ mult·rhs
+// must come out negative (i.e. the combination reads 0 ≤ negative).
+class FarkasLedger {
+ public:
+  void upper(int tag, const SparseRow& lhs, const Rational& b) {
+    forms_.emplace(tag, std::make_pair(lhs, b));
+  }
+  void lower(int tag, const SparseRow& lhs, const Rational& b) {
+    SparseRow neg = lhs;
+    neg.scale(Rational(-1));
+    forms_.emplace(tag, std::make_pair(std::move(neg), -b));
+  }
+
+  void expect_valid(const std::vector<FarkasTerm>& cert) const {
+    ASSERT_FALSE(cert.empty());
+    SparseRow lhs;
+    Rational rhs;
+    for (const FarkasTerm& t : cert) {
+      EXPECT_GT(t.mult, Rational(0)) << "multipliers must be positive";
+      const auto it = forms_.find(t.tag);
+      ASSERT_NE(it, forms_.end()) << "certificate cites unknown tag " << t.tag;
+      lhs.add_scaled(it->second.first, t.mult);
+      rhs += it->second.second * t.mult;
+    }
+    EXPECT_FALSE(lhs.has_variables())
+        << "Farkas combination must cancel every variable";
+    EXPECT_LT(rhs, Rational(0)) << "combination must read 0 <= negative";
+  }
+
+ private:
+  std::map<int, std::pair<SparseRow, Rational>> forms_;
+};
+
+SparseRow form_of(std::initializer_list<std::pair<int, int>> entries) {
+  SparseRow r;
+  for (const auto& [col, coeff] : entries) r.add(col, Rational(coeff));
+  return r;
+}
+
+TEST(Simplex, FeasibleVertexSatisfiesAllBoundsAndDefinitions) {
+  // x + y <= 4, x - y <= 0, x >= 1: feasible.
+  Simplex s;
+  const int x = s.var(0);
+  const int y = s.var(1);
+  const int sum = s.add_slack({{0, 1}, {1, 1}});
+  const int diff = s.add_slack({{0, 1}, {1, -1}});
+  ASSERT_TRUE(s.assert_upper(sum, Rational(4), 1));
+  ASSERT_TRUE(s.assert_upper(diff, Rational(0), 2));
+  ASSERT_TRUE(s.assert_lower(x, Rational(1), 3));
+  ASSERT_TRUE(s.check());
+  const Rational vx = s.value(x);
+  const Rational vy = s.value(y);
+  EXPECT_LE(vx + vy, Rational(4));
+  EXPECT_LE(vx - vy, Rational(0));
+  EXPECT_GE(vx, Rational(1));
+  // Slack values track their defining forms exactly through pivoting.
+  EXPECT_EQ(s.value(sum), vx + vy);
+  EXPECT_EQ(s.value(diff), vx - vy);
+}
+
+TEST(Simplex, SolvesEqualitySystemsExactly) {
+  // x + y = 10 and x - y = 4 (equalities = upper+lower on one slack each)
+  // have the unique solution x = 7, y = 3 — pivoting must land on it.
+  Simplex s;
+  const int x = s.var(0);
+  const int y = s.var(1);
+  const int sum = s.add_slack({{0, 1}, {1, 1}});
+  const int diff = s.add_slack({{0, 1}, {1, -1}});
+  ASSERT_TRUE(s.assert_upper(sum, Rational(10), 1));
+  ASSERT_TRUE(s.assert_lower(sum, Rational(10), 2));
+  ASSERT_TRUE(s.assert_upper(diff, Rational(4), 3));
+  ASSERT_TRUE(s.assert_lower(diff, Rational(4), 4));
+  ASSERT_TRUE(s.check());
+  EXPECT_EQ(s.value(x), Rational(7));
+  EXPECT_EQ(s.value(y), Rational(3));
+  EXPECT_GT(s.stats().pivots, 0u);
+}
+
+TEST(Simplex, FarkasCertificateOfCyclicSystemResubstitutes) {
+  // x - y <= -1, y - z <= -1, z - x <= -1: the cycle sums to 0 <= -3.
+  Simplex s;
+  FarkasLedger ledger;
+  const std::vector<std::pair<int, int>> edges = {{0, 1}, {1, 2}, {2, 0}};
+  int tag = 10;
+  for (const auto& [a, b] : edges) {
+    const int sl = s.add_slack({{a, 1}, {b, -1}});
+    ledger.upper(tag, form_of({{a, 1}, {b, -1}}), Rational(-1));
+    ASSERT_TRUE(s.assert_upper(sl, Rational(-1), tag));
+    ++tag;
+  }
+  ASSERT_FALSE(s.check());
+  ledger.expect_valid(s.farkas());
+  EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(Simplex, CrossingBoundsConflictImmediately) {
+  // x <= 2 then x >= 5 contradict at assertion time; the certificate is
+  // the two bounds, multiplier 1 each.
+  Simplex s;
+  FarkasLedger ledger;
+  const int x = s.var(7);
+  ledger.upper(1, form_of({{7, 1}}), Rational(2));
+  ledger.lower(2, form_of({{7, 1}}), Rational(5));
+  ASSERT_TRUE(s.assert_upper(x, Rational(2), 1));
+  ASSERT_FALSE(s.assert_lower(x, Rational(5), 2));
+  ledger.expect_valid(s.farkas());
+}
+
+TEST(Simplex, RetractRestoresFeasibilityAndReusesBasis) {
+  // Incremental contract: bounds retract in LIFO order; the tableau and
+  // basis persist, so the re-check after a retract needs no new slacks
+  // and the certificate machinery keeps working on the same instance.
+  Simplex s;
+  FarkasLedger ledger;
+  const int x = s.var(0);
+  const int y = s.var(1);
+  const int sum = s.add_slack({{0, 1}, {1, 1}});
+  ledger.upper(1, form_of({{0, 1}, {1, 1}}), Rational(3));
+  ledger.lower(2, form_of({{0, 1}}), Rational(0));
+  ledger.lower(3, form_of({{1, 1}}), Rational(0));
+  ASSERT_TRUE(s.assert_upper(sum, Rational(3), 1));
+  ASSERT_TRUE(s.assert_lower(x, Rational(0), 2));
+  ASSERT_TRUE(s.assert_lower(y, Rational(0), 3));
+  ASSERT_TRUE(s.check());
+
+  const std::size_t mark = s.mark();
+  ledger.lower(4, form_of({{0, 1}}), Rational(5));
+  ASSERT_TRUE(s.assert_lower(x, Rational(5), 4));
+  ASSERT_FALSE(s.check());  // x >= 5 vs x + y <= 3, y >= 0
+  ledger.expect_valid(s.farkas());
+
+  s.retract_to(mark);
+  ASSERT_TRUE(s.check()) << "retracting the probe restores feasibility";
+  ASSERT_TRUE(s.assert_lower(x, Rational(2), 5));
+  ASSERT_TRUE(s.check());
+  EXPECT_GE(s.value(x), Rational(2));
+  EXPECT_LE(s.value(x) + s.value(y), Rational(3));
+}
+
+// Property: random bound probes over a fixed tableau. Feasible checks
+// must produce values inside every asserted bound; infeasible checks must
+// produce a certificate that re-substitutes to 0 <= negative.
+class SimplexProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexProperty, VerdictsAreCertified) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_int_distribution<int> coeff(-3, 3);
+  std::uniform_int_distribution<int> bound(-6, 6);
+  const int num_vars = 5;
+  Simplex s;
+  FarkasLedger ledger;
+  std::vector<std::pair<int, SparseRow>> slacks;  // (simplex var, form)
+  for (int i = 0; i < 4; ++i) {
+    std::vector<std::pair<std::int32_t, std::int64_t>> terms;
+    SparseRow form;
+    for (int c = 0; c < num_vars; ++c) {
+      const int a = coeff(rng);
+      if (a != 0) {
+        terms.emplace_back(c, a);
+        form.add(c, Rational(a));
+      }
+    }
+    if (terms.empty()) continue;
+    slacks.emplace_back(s.add_slack(terms), std::move(form));
+  }
+  for (int c = 0; c < num_vars; ++c) s.var(c);
+
+  int tag = 0;
+  std::vector<std::pair<int, bool>> asserted;  // (tag is upper?) per bound
+  for (int round = 0; round < 40; ++round) {
+    const bool on_slack = !slacks.empty() && (rng() & 1) != 0;
+    const std::size_t pick =
+        on_slack ? rng() % slacks.size()
+                 : static_cast<std::size_t>(rng() % num_vars);
+    const int var = on_slack ? slacks[pick].first
+                             : s.var(static_cast<std::int32_t>(pick));
+    const SparseRow form =
+        on_slack ? slacks[pick].second
+                 : form_of({{static_cast<int>(pick), 1}});
+    const Rational b(bound(rng));
+    const bool upper = (rng() & 1) != 0;
+    ++tag;
+    if (upper) ledger.upper(tag, form, b);
+    else ledger.lower(tag, form, b);
+    const bool ok = upper ? s.assert_upper(var, b, tag)
+                          : s.assert_lower(var, b, tag);
+    if (!ok || !s.check()) {
+      ledger.expect_valid(s.farkas());
+      return;  // certified infeasibility ends the probe sequence
+    }
+    // Feasible: the vertex satisfies every slack bound we asserted.
+    for (const auto& [sv, sform] : slacks) {
+      Rational acc;
+      for (const Entry& e : sform.entries()) {
+        acc += e.coeff * s.value(s.var(e.col));
+      }
+      EXPECT_EQ(acc, s.value(sv)) << "slack drifted from its definition";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexProperty,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
 
 }  // namespace
 }  // namespace advocat::linalg
