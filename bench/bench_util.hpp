@@ -105,7 +105,12 @@ class JsonLine {
         .field("learned_hits", static_cast<std::size_t>(s.learned_hits))
         .field("theory_pivots", static_cast<std::size_t>(s.theory_pivots))
         .field("farkas_explanations",
-               static_cast<std::size_t>(s.farkas_explanations));
+               static_cast<std::size_t>(s.farkas_explanations))
+        .field("threads", static_cast<std::size_t>(s.threads))
+        .field("clauses_exported",
+               static_cast<std::size_t>(s.clauses_exported))
+        .field("clauses_imported",
+               static_cast<std::size_t>(s.clauses_imported));
   }
 
   /// Prints `BENCH_JSON {...}` on its own line.

@@ -19,15 +19,27 @@
 // timeout / degraded search) is reported as conclusive=false and excluded
 // from the incremental-vs-reencode disagreement check — only a *definite*
 // disagreement exits non-zero.
+// A `--threads N` flag (default: ADVOCAT_THREADS, i.e. 1) runs the sizing
+// searches with N concurrent capacity probes (round-based ladder +
+// k-section; see QueueSizingOptions::probe_threads) — the lever behind the
+// PR6 parallel-speedup trajectory (BENCH_PR6.json compares --threads 16
+// against the sequential baseline). The re-encode reference runs stay
+// sequential, so the disagreement check also cross-checks parallel against
+// sequential verdicts.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "advocat/verifier.hpp"
 #include "bench_util.hpp"
 #include "coherence/mi_abstract.hpp"
+#include "util/env.hpp"
 
 using namespace advocat;
 
 namespace {
+
+unsigned g_threads = 1;
 
 core::QueueSizingResult size_run(int k, int dir_node, bool incremental,
                                  smt::Backend backend) {
@@ -44,6 +56,9 @@ core::QueueSizingResult size_run(int k, int dir_node, bool incremental,
   options.max_capacity = 256;
   options.incremental = incremental;
   options.verify.backend = backend;
+  // Parallel probes only on the incremental run; the re-encode reference
+  // stays sequential so its timing is the single-thread baseline.
+  if (incremental) options.probe_threads = g_threads;
   // Default runs stay bounded: a rare pathological directory position can
   // take the native solver ~1000x longer than its neighbours, and an
   // inconclusive cell (reported, not failed) beats an hour-long stall.
@@ -54,8 +69,16 @@ core::QueueSizingResult size_run(int k, int dir_node, bool incremental,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_threads = util::env_threads(1);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      g_threads = n < 1 ? 1 : (n > 256 ? 256u : static_cast<unsigned>(n));
+    }
+  }
   bench::header("E4 / Fig. 4", "minimal queue sizes found by ADVOCAT");
+  if (g_threads > 1) std::printf("(parallel probes: %u threads)\n", g_threads);
 
   const int max_k = bench::smoke() ? 2 : (bench::full_scale() ? 5 : 4);
   int status = 0;
@@ -79,6 +102,7 @@ int main() {
               .field("backend", smt::to_string(backend))
               .field("mesh", k)
               .field("directory_node", dir)
+              .field("probe_threads", static_cast<std::size_t>(g_threads))
               .field("minimal_capacity", inc.minimal_capacity)
               .field("minimal_capacity_reencode", re.minimal_capacity)
               .field("conclusive", conclusive)

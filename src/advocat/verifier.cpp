@@ -1,10 +1,14 @@
 #include "advocat/verifier.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 
 #include "smt/expr.hpp"
+#include "util/env.hpp"
+#include "util/parallel.hpp"
 #include "util/stopwatch.hpp"
 
 namespace advocat::core {
@@ -55,6 +59,8 @@ Verifier::Verifier(xmas::Network net, VerifyOptions options)
   if (options_.record_script) {
     solver_ = smt::make_recording_solver(std::move(solver_), script_);
   }
+  if (options_.threads != 0) solver_->set_threads(options_.threads);
+  if (options_.deterministic) solver_->set_deterministic(true);
   for (smt::ExprId e : enc_.structural) solver_->add(e);
   for (smt::ExprId e : enc_.definitions) solver_->add(e);
   solver_->add(enc_.deadlock);
@@ -192,6 +198,10 @@ VerifyResult Verifier::run_check(const CheckOverrides& o) {
   return result;
 }
 
+const smt::SolveStats& Verifier::solve_stats() const {
+  return solver_->solve_stats();
+}
+
 VerifyResult Verifier::check() { return run_check(CheckOverrides{}); }
 
 VerifyResult Verifier::check_with(const CheckOverrides& overrides) {
@@ -292,11 +302,165 @@ smt::SatResult probe_from_scratch(const xmas::Network& net,
   return r.report.result;
 }
 
+void add_stats(smt::SolveStats& into, const smt::SolveStats& s) {
+  into.conflicts += s.conflicts;
+  into.decisions += s.decisions;
+  into.propagations += s.propagations;
+  into.restarts += s.restarts;
+  into.learned_clauses += s.learned_clauses;
+  into.deleted_clauses += s.deleted_clauses;
+  into.learned_kept += s.learned_kept;
+  into.learned_hits += s.learned_hits;
+  into.theory_pivots += s.theory_pivots;
+  into.farkas_explanations += s.farkas_explanations;
+  into.clauses_exported += s.clauses_exported;
+  into.clauses_imported += s.clauses_imported;
+  into.threads = std::max(into.threads, s.threads);
+}
+
+/// Parallel round-based capacity search: a ladder round probes the next W
+/// exponential rungs concurrently, then k-section rounds narrow the
+/// bad/good interval with up to W evenly spaced midpoints per round.
+/// Each worker owns a full Verifier session, so PR4 learned-clause
+/// persistence still applies within a worker across its rounds; make_net
+/// and all result bookkeeping stay on the scheduling thread. Probes are
+/// assigned worker i % W statically, so for a fixed W the whole probe
+/// sequence (and QueueSizingResult::probes) is deterministic; the final
+/// verdict never depends on W because a capacity is only accepted on its
+/// own definite Unsat.
+QueueSizingResult find_minimal_parallel(
+    const std::function<xmas::Network(std::size_t)>& make_net,
+    const QueueSizingOptions& options, unsigned probe_threads) {
+  util::Stopwatch total;
+  QueueSizingResult result;
+  result.incremental = true;
+
+  VerifyOptions vo = options.verify;
+  vo.symbolic_capacities = true;
+  const unsigned width = std::min(probe_threads, 16u);
+  std::vector<std::unique_ptr<Verifier>> sessions;
+  sessions.reserve(width);
+  for (unsigned w = 0; w < width; ++w) {
+    sessions.push_back(
+        std::make_unique<Verifier>(make_net(options.min_capacity), vo));
+  }
+
+  // Probes one round of capacities concurrently (ascending, deduped by the
+  // callers) and returns their verdicts in the same order.
+  auto run_round = [&](const std::vector<std::size_t>& caps) {
+    std::vector<xmas::Network> candidates;
+    candidates.reserve(caps.size());
+    for (std::size_t cap : caps) candidates.push_back(make_net(cap));
+    std::vector<smt::SatResult> verdicts(caps.size(),
+                                         smt::SatResult::Unknown);
+    std::vector<char> incompatible(caps.size(), 0);
+    util::parallel_for_static(caps.size(), width, [&](std::size_t i) {
+      Verifier& s = *sessions[i % width];
+      if (!s.probe_compatible(candidates[i])) {
+        incompatible[i] = 1;
+        return;
+      }
+      CheckOverrides o;
+      for (xmas::PrimId qid :
+           candidates[i].prims_of_kind(xmas::PrimKind::Queue)) {
+        o.queue_capacities.emplace_back(qid, candidates[i].prim(qid).capacity);
+      }
+      verdicts[i] = s.check_with(o).report.result;
+    });
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      if (incompatible[i] != 0) {
+        // make_net changed more than capacities: probe the slow,
+        // always-correct way (serially — verify() rebuilds everything).
+        result.incremental = false;
+        verdicts[i] =
+            probe_from_scratch(candidates[i], options.verify, result);
+      }
+      result.probes.emplace_back(caps[i], verdicts[i]);
+      if (verdicts[i] == smt::SatResult::Unknown) ++result.unknown_probes;
+    }
+    return verdicts;
+  };
+
+  // Ladder rounds: the same exponential rung sequence as the sequential
+  // search, W rungs at a time.
+  std::size_t hi = 0;
+  std::size_t last_bad = options.min_capacity - 1;
+  std::size_t step = options.min_capacity;
+  std::size_t cap = options.min_capacity;
+  bool exhausted = false;
+  while (hi == 0 && !exhausted) {
+    std::vector<std::size_t> rung;
+    while (rung.size() < width) {
+      rung.push_back(cap);
+      if (cap == options.max_capacity) {
+        exhausted = true;
+        break;
+      }
+      step *= 2;
+      cap = cap + step > options.max_capacity ? options.max_capacity
+                                              : cap + step;
+    }
+    const std::vector<smt::SatResult> verdicts = run_round(rung);
+    for (std::size_t i = 0; i < rung.size(); ++i) {
+      if (verdicts[i] == smt::SatResult::Unsat) {
+        hi = rung[i];
+        break;
+      }
+      last_bad = rung[i];
+    }
+  }
+
+  if (hi != 0) {
+    // k-section narrowing of (last_bad, hi]: candidates live in
+    // [lo, hi - 1]; every round either lowers hi (some midpoint proved
+    // free) or raises lo past its bad midpoints, so the interval shrinks
+    // every round.
+    std::size_t lo = last_bad + 1;
+    while (lo < hi) {
+      const std::size_t span = hi - lo;
+      const std::size_t k = std::min<std::size_t>(width, span);
+      std::vector<std::size_t> mids;
+      mids.reserve(k);
+      for (std::size_t j = 1; j <= k; ++j) {
+        const std::size_t m = lo + span * j / (k + 1);
+        if (mids.empty() || mids.back() != m) mids.push_back(m);
+      }
+      const std::vector<smt::SatResult> verdicts = run_round(mids);
+      for (std::size_t i = 0; i < mids.size(); ++i) {
+        if (verdicts[i] == smt::SatResult::Unsat) {
+          hi = mids[i];
+          break;
+        }
+        lo = mids[i] + 1;
+      }
+    }
+    result.minimal_capacity = hi;
+  }
+
+  result.solve_stats = {};
+  for (const auto& s : sessions) {
+    add_stats(result.solve_stats, s->solve_stats());
+    const SessionStats& st = s->stats();
+    result.validations += st.validations;
+    result.invariant_generations += st.invariant_generations;
+    result.encodes += st.encodes;
+    result.solver_checks += st.checks;
+  }
+  result.seconds = total.seconds();
+  return result;
+}
+
 }  // namespace
 
 QueueSizingResult find_minimal_queue_size(
     const std::function<xmas::Network(std::size_t)>& make_net,
     const QueueSizingOptions& options) {
+  const unsigned probe_threads = options.probe_threads == 0
+                                     ? util::env_threads(1)
+                                     : options.probe_threads;
+  if (options.incremental && probe_threads > 1) {
+    return find_minimal_parallel(make_net, options, probe_threads);
+  }
   util::Stopwatch total;
   QueueSizingResult result;
   result.incremental = options.incremental;

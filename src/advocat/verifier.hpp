@@ -50,6 +50,16 @@ struct VerifyOptions {
   bool symbolic_capacities = false;
   /// Mirror the solver session into an SMT-LIB script (Verifier::script()).
   bool record_script = false;
+  /// Parallel search workers inside each solver check (native backend
+  /// cube-and-conquer / portfolio; see smt::Solver::set_threads). 0 keeps
+  /// the solver's environment default (ADVOCAT_THREADS, itself defaulting
+  /// to 1 — strictly sequential).
+  unsigned threads = 0;
+  /// Force solver determinism mode: parallel verdicts and SolveStats
+  /// become reproducible run to run (disables clause exchange and early
+  /// cancellation). No effect on sequential checks, which are always
+  /// deterministic.
+  bool deterministic = false;
 };
 
 struct VerifyResult {
@@ -141,6 +151,9 @@ class Verifier {
   [[nodiscard]] const xmas::Typing& typing() const { return typing_; }
   [[nodiscard]] const VerifyOptions& options() const { return options_; }
   [[nodiscard]] const SessionStats& stats() const { return stats_; }
+  /// Session-cumulative solver search statistics (see smt::SolveStats) —
+  /// the same snapshot every VerifyResult carries, without a check.
+  [[nodiscard]] const smt::SolveStats& solve_stats() const;
   /// The session's expression arena — build CheckOverrides::assumptions
   /// against this factory.
   [[nodiscard]] smt::ExprFactory& factory() { return factory_; }
@@ -203,6 +216,15 @@ struct QueueSizingOptions {
   /// per-probe fallback to a fresh one-shot verify() when the shapes
   /// diverge. Set false to force the legacy re-encode-per-probe path.
   bool incremental = true;
+  /// Concurrent capacity probes (incremental path only). 1 keeps the
+  /// sequential exponential + binary search; N > 1 runs a round-based
+  /// parallel ladder then k-section narrowing over N worker sessions,
+  /// each its own Verifier (learned clauses persist per worker across its
+  /// rounds). make_net is only ever called from the scheduling thread.
+  /// 0 takes the ADVOCAT_THREADS environment default. Probe order — and
+  /// therefore QueueSizingResult::probes — is deterministic for a fixed
+  /// thread count; the verdict is thread-count-independent.
+  unsigned probe_threads = 1;
 };
 
 struct QueueSizingResult {

@@ -56,7 +56,7 @@ void decode_witness(const xmas::Network& net, const xmas::Typing& typing,
 Report check(const xmas::Network& net, const xmas::Typing& typing,
              smt::ExprFactory& factory,
              const std::vector<smt::ExprId>& extra_assertions,
-             unsigned timeout_ms, smt::Backend backend) {
+             unsigned timeout_ms, smt::Backend backend, unsigned threads) {
   Report report;
   util::Stopwatch watch;
 
@@ -66,6 +66,7 @@ Report check(const xmas::Network& net, const xmas::Typing& typing,
   report.encode_seconds = watch.seconds();
 
   auto solver = smt::make_solver(factory, backend);
+  if (threads != 0) solver->set_threads(threads);
   for (smt::ExprId e : enc.structural) solver->add(e);
   for (smt::ExprId e : enc.definitions) solver->add(e);
   for (smt::ExprId e : extra_assertions) solver->add(e);

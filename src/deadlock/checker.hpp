@@ -40,12 +40,15 @@ struct Report {
 /// Runs the block/idle deadlock query. `extra_assertions` (typically the
 /// generated invariants) are conjoined; they must come from `factory`.
 /// `timeout_ms` 0 = no limit. `backend` selects the solver (Auto = Z3 when
-/// compiled in, native otherwise).
+/// compiled in, native otherwise). `threads` requests parallel search
+/// workers inside the solver check (see smt::Solver::set_threads); 0 keeps
+/// the ADVOCAT_THREADS environment default.
 Report check(const xmas::Network& net, const xmas::Typing& typing,
              smt::ExprFactory& factory,
              const std::vector<smt::ExprId>& extra_assertions = {},
              unsigned timeout_ms = 0,
-             smt::Backend backend = smt::Backend::Auto);
+             smt::Backend backend = smt::Backend::Auto,
+             unsigned threads = 0);
 
 /// Decodes a Sat model into the witness fields of `report` (fired
 /// disjuncts, queue contents, automaton states). Shared between the

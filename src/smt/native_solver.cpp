@@ -1,26 +1,40 @@
 // In-tree CDCL(T) solver for the linear-integer encodings.
 // See native_solver.hpp for the algorithm overview and smt/theory.hpp for
-// the seam between the two theory layers (interval propagation here, the
-// exact rational simplex in smt/simplex_theory.hpp).
+// the seam between the two theory layers.
 //
-// Search core (since PR 4): conflict-driven clause learning in the
-// MiniSat lineage — first-UIP conflict analysis with clause minimization,
-// non-chronological backjumping, an EVSIDS activity heap, Luby restarts,
-// and a learned-clause database with LBD/activity-based deletion. The
-// solver is fully deterministic (no randomness), so identical sessions
-// produce identical statistics.
+// Since PR 6 this file holds the *translation and orchestration* half of
+// the solver: Tseitin translation of the assertion DAG into the shared
+// problem (native::SharedProblem) and the dispatch of checks onto
+// per-worker search engines (native::SearchContext). The search
+// algorithm itself — CDCL with first-UIP learning, EVSIDS, Luby
+// restarts, interval propagation with provenance explanations, the exact
+// simplex — lives in search_context.cpp.
 //
 // Learned clauses persist across check() calls AND across push()/pop():
 // scoped root assertions and per-check assumptions are placed on their own
 // decision levels (MiniSat assumption style) instead of level 0, so a
 // learned clause can only depend on them by *mentioning* their negations.
 // Every learned clause is therefore entailed by the permanent material
-// alone (translation gates, scope-0 assertions) and stays valid after any
-// pop — nothing ever has to be discarded on pop. The one exception is
-// clauses learned after a leaf degraded to Unknown in the same check
-// (budget/window exhaustion): those may block satisfying assignments, so
-// they are marked tainted, degrade this check's Unsat to Unknown exactly
-// like before, and are purged before the next check starts.
+// alone and stays valid after any pop — and, by the same argument, valid
+// on every parallel worker sharing the translation, which is what makes
+// cross-worker clause exchange and harvest-back sound. Tainted clauses
+// (learned after an Unknown-degraded leaf) are the one exception; they
+// are purged at check boundaries and never exported.
+//
+// Parallel modes (threads > 1, default ADVOCAT_THREADS):
+//  - cube-and-conquer: the primary context probes under a conflict
+//    budget; if undecided, the top-EVSIDS undecided variables split the
+//    search into 2^k cubes solved by seeded ephemeral workers on a
+//    static, deterministic schedule.
+//  - portfolio (ADVOCAT_PARALLEL=portfolio): diversified workers race on
+//    the whole problem (restart pacing, default phase, branching bias).
+// Workers share short/low-LBD learned clauses through a sharded exchange
+// and their learning is harvested back into the primary context, so the
+// PR4 cross-check persistence survives parallel checks. With
+// ADVOCAT_DETERMINISTIC=1 the exchange and early cancellation are
+// disabled and the cube partition is static, making parallel verdicts
+// *and* statistics reproducible run to run. threads == 1 never spawns a
+// thread and is bit-identical to the sequential solver.
 #include "smt/native_solver.hpp"
 
 #include <algorithm>
@@ -28,147 +42,61 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <limits>
+#include <cstring>
 #include <map>
+#include <memory>
 #include <numeric>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
-#include "smt/simplex_theory.hpp"
-#include "smt/theory.hpp"
+#include "smt/clause_exchange.hpp"
+#include "smt/search_context.hpp"
+#include "util/env.hpp"
+#include "util/parallel.hpp"
 
 namespace advocat::smt {
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using native::Atom;
+using native::CheckJob;
+using native::ClauseExchange;
+using native::Clock;
+using native::Lit;
+using native::Outcome;
+using native::SearchConfig;
+using native::SearchContext;
+using native::SharedProblem;
+using native::StaticRow;
+using native::mk_lit;
+using native::neg;
 
-constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min();
-constexpr std::int64_t kPosInf = std::numeric_limits<std::int64_t>::max();
-// Derived bounds are clamped strictly inside the sentinels.
-constexpr std::int64_t kBoundClamp = std::int64_t{1} << 60;
-// Finite window probed for variables the constraints never bounded; an
-// exhausted probe degrades Unsat to Unknown (Sat stays exact). Small on
-// purpose: genuinely free variables (flow circulations) are either pinned
-// by equality propagation or accept their lower bound, so wide windows
-// only slow refutation down.
-constexpr std::int64_t kUnboundedProbes = 4;
-// Branch-and-bound node budget per boolean leaf; an exhausted budget
-// degrades the leaf to Unknown so one pathological leaf cannot stall the
-// whole search.
-constexpr std::uint64_t kIntNodeBudget = 50'000;
-// Widest finite domain enumerated exhaustively before the same degradation.
-constexpr std::int64_t kEnumWindow = 1 << 16;
+// Conflict budget for the cube-probe run on the primary context: easy
+// checks (the common incremental-probe case) finish inside the budget
+// without ever spawning a thread; hard ones exit with hot EVSIDS
+// variables to cube on.
+constexpr std::uint64_t kCubeProbeConflicts = 1000;
+// At most 2^kMaxCubeVars cubes.
+constexpr std::size_t kMaxCubeVars = 8;
+// Per-worker cap on clauses harvested back into the primary context.
+constexpr std::size_t kHarvestCap = 4096;
 
-// CDCL tuning. Restarts follow the Luby sequence scaled by kRestartBase
-// conflicts; learned-clause reduction triggers once the live learned set
-// exceeds kReduceBase + kReduceInc per reduction already performed.
-constexpr std::uint64_t kRestartBase = 192;
-constexpr std::size_t kReduceBase = 2000;
-constexpr std::size_t kReduceInc = 1000;
-constexpr double kVarActInc = 1.0 / 0.95;    // EVSIDS decay 0.95
-constexpr double kClaActInc = 1.0 / 0.999;   // clause-activity decay 0.999
-constexpr double kVarActRescale = 1e100;
-constexpr double kClaActRescale = 1e20;
-
-// Literal encoding: variable v -> positive literal 2v, negated 2v+1.
-using Lit = std::int32_t;
-inline Lit mk_lit(int v, bool negated) {
-  return static_cast<Lit>(2 * v + (negated ? 1 : 0));
-}
-inline Lit neg(Lit l) { return l ^ 1; }
-inline int var_of(Lit l) { return l >> 1; }
-inline bool is_neg(Lit l) { return (l & 1) != 0; }
-
-enum Val : std::int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
-
-// Σ terms ≤ bound over integer-variable indices — the shared theory-seam
-// row type (smt/theory.hpp): interval propagation and the simplex layer
-// consume the same activation stream and explain in the same tag space.
-using StaticRow = theory::Row;
-
-struct Atom {
-  std::vector<std::pair<int, std::int64_t>> terms;
-  std::int64_t bound = 0;
-  bool is_eq = false;
-  std::vector<StaticRow> when_true;   // Le: {≤}; Eq: {≤, ≥}
-  std::vector<StaticRow> when_false;  // Le: {>}; Eq: empty (disequality)
-};
-
-// One clause in the arena: problem clauses (from Tseitin translation,
-// permanent) and learned clauses share it so watch lists and reasons are
-// plain indices. Deletion is lazy — a deleted clause keeps its slot (lits
-// freed) until the next check boundary compacts the arena, because watch
-// lists cannot be rebuilt mid-search without breaking the invariant that
-// a false watch is the last literal of the clause to unassign.
-struct Clause {
-  std::vector<Lit> lits;
-  double act = 0.0;
-  std::int32_t lbd = 0;
-  bool learned = false;
-  bool tainted = false;  // depends on an Unknown-degraded leaf: not entailed
-  bool deleted = false;
-  bool prior = false;  // learned in an earlier check (learned_hits bookkeeping)
-};
-
-struct Timeout {};
-
-constexpr int kReasonNone = -1;    // decision / assumption / level-0 fact
-constexpr int kReasonTheory = -2;  // entailed by the active interval rows
-
-// One restorable bound change.
-struct UndoEntry {
-  int var;
-  bool is_hi;
-  std::int64_t old_bound;
-};
-
-// Bound-provenance source codes: >= 0 is an active-row index, <= -2
-// encodes a branch-and-bound pin of integer variable pin_var(src).
-inline int pin_src(int var) { return -2 - var; }
-inline bool src_is_pin(int src) { return src <= -2; }
-inline int pin_var(int src) { return -2 - src; }
-
-// One bound derivation, appended to the chronological provenance log.
-// Entries for one (variable, side) node form a linked list through
-// `prev`, so "the bound this derivation consumed" is the input node's
-// latest entry *older than this one* — walking derivation time instead of
-// the mutable current-source graph keeps justifications acyclic and
-// grounded even when self-referential tightening laps overwrite bounds.
-struct BoundLog {
-  int node;  // 2*var + (is_hi ? 1 : 0)
-  int src;   // active-row index or pin code
-  int prev;  // previous log entry for `node`, or -1
-};
-
-// floor(a / b) for b > 0, exact in __int128.
-__int128 floor_div(__int128 a, std::int64_t b) {
-  __int128 q = a / b;
-  if (a % b != 0 && a < 0) --q;
-  return q;
-}
-
-// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... (0-based:
-// luby(0) = luby(1) = 1, luby(2) = 2, ...).
-std::uint64_t luby(std::uint64_t i) {
-  std::uint64_t size = 1;
-  while (size < i + 1) size = 2 * size + 1;
-  while (size - 1 != i) {
-    size = (size - 1) / 2;
-    i %= size;
-  }
-  return (size + 1) / 2;
-}
+// Portfolio diversification: per-worker restart pacing (Luby scale).
+constexpr std::uint64_t kPortfolioRestartBase[] = {192, 96, 384, 768};
 
 class NativeSolver final : public Solver {
  public:
   explicit NativeSolver(const ExprFactory& factory) : f_(factory) {
-    true_var_ = new_bvar();
-    def_units_.push_back(mk_lit(true_var_, false));
-    // The simplex layer honors the same deadline as every other loop.
-    stx_.set_tick([this] { bump_ops(); });
+    sh_.true_var = new_bvar();
+    sh_.def_units.push_back(mk_lit(sh_.true_var, false));
+    primary_ = std::make_unique<SearchContext>(sh_, SearchConfig{});
+    threads_ = util::env_threads(1);
+    deterministic_ = util::env_deterministic();
+    const char* mode = std::getenv("ADVOCAT_PARALLEL");
+    portfolio_ = mode != nullptr && std::strcmp(mode, "portfolio") == 0;
   }
 
   void add(ExprId assertion) override { roots_.push_back(assertion); }
@@ -200,29 +128,58 @@ class NativeSolver final : public Solver {
     return scopes_.size();
   }
 
+  void set_threads(unsigned n) override {
+    threads_ = n == 0 ? util::env_threads(1) : std::min(n, 256u);
+  }
+
+  void set_deterministic(bool on) override { deterministic_ = on; }
+
  protected:
   SatResult do_check(const std::vector<ExprId>& assumptions,
                      unsigned timeout_ms) override {
-    deadline_active_ = timeout_ms > 0;
-    if (deadline_active_) {
-      deadline_ = Clock::now() + std::chrono::milliseconds(timeout_ms);
-    }
-    ops_ = 0;
     const SolveStats before = solve_stats();
-    SatResult result;
-    try {
-      result = run_check(assumptions);
-    } catch (const Timeout&) {
-      result = SatResult::Unknown;
+    CheckJob job;
+    job.deadline_active = timeout_ms > 0;
+    if (job.deadline_active) {
+      job.deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
     }
-    mutable_stats().learned_kept = num_learned_live_;
+    for (; translated_roots_ < roots_.size(); ++translated_roots_) {
+      root_lits_.push_back(translate_bool(roots_[translated_roots_]));
+    }
+    // Assumption literals reuse the same memoized translation, so repeated
+    // probes over the same expressions add no clauses after the first.
+    std::vector<Lit> assumption_lits;
+    assumption_lits.reserve(assumptions.size());
+    for (ExprId a : assumptions) assumption_lits.push_back(translate_bool(a));
+    SatResult result = SatResult::Unsat;
+    if (!trivially_unsat_) {
+      // Level-0 permanent roots vs. the retractable scoped prefix.
+      const std::size_t permanent = std::min(
+          scopes_.empty() ? root_lits_.size() : scopes_.front(),
+          root_lits_.size());
+      std::vector<Lit> permanent_roots(root_lits_.begin(),
+                                       root_lits_.begin() +
+                                           static_cast<std::ptrdiff_t>(
+                                               permanent));
+      std::vector<Lit> scoped_roots(root_lits_.begin() +
+                                        static_cast<std::ptrdiff_t>(permanent),
+                                    root_lits_.end());
+      job.permanent_roots = &permanent_roots;
+      job.scoped_roots = &scoped_roots;
+      job.assumption_lits = &assumption_lits;
+      job.assumptions = &assumptions;
+      result = threads_ <= 1 ? adopt(*primary_, primary_->solve(job))
+                             : solve_parallel(job);
+    }
+    refresh_stats();
     if (std::getenv("ADVOCAT_NATIVE_STATS") != nullptr) {
       const SolveStats& s = solve_stats();
       std::fprintf(
           stderr,
           "[native] %s: +%llu decisions, +%llu conflicts, +%llu propagations, "
           "+%llu restarts, +%llu learned (%zu live, %llu deleted), "
-          "+%llu prior-clause hits, %d bool vars, %zu atoms, %zu clauses\n",
+          "+%llu prior-clause hits, %u threads, %d bool vars, %zu atoms, "
+          "%zu clauses\n",
           smt::to_string(result),
           static_cast<unsigned long long>(s.decisions - before.decisions),
           static_cast<unsigned long long>(s.conflicts - before.conflicts),
@@ -235,7 +192,7 @@ class NativeSolver final : public Solver {
           static_cast<unsigned long long>(s.deleted_clauses),
           static_cast<unsigned long long>(s.learned_hits -
                                           before.learned_hits),
-          num_bvars_, atoms_.size(), cls_.size());
+          s.threads, sh_.num_bvars, sh_.atoms.size(), sh_.clauses.size());
     }
     return result;
   }
@@ -244,15 +201,15 @@ class NativeSolver final : public Solver {
   // ------------------------------------------------------------ translation
 
   int new_bvar() {
-    atom_of_var_.push_back(-1);
-    return num_bvars_++;
+    sh_.atom_of_var.push_back(-1);
+    return sh_.num_bvars++;
   }
 
   int int_var(ExprId id, const std::string& name) {
     auto it = int_index_.find(id);
     if (it != int_index_.end()) return it->second;
-    const int v = static_cast<int>(int_names_.size());
-    int_names_.push_back(name);
+    const int v = static_cast<int>(sh_.int_names.size());
+    sh_.int_names.push_back(name);
     int_index_.emplace(id, v);
     return v;
   }
@@ -266,11 +223,9 @@ class NativeSolver final : public Solver {
     if (c.empty()) {
       trivially_unsat_ = true;
     } else if (c.size() == 1) {
-      def_units_.push_back(c[0]);
+      sh_.def_units.push_back(c[0]);
     } else {
-      Clause cl;
-      cl.lits = std::move(c);
-      cls_.push_back(std::move(cl));
+      sh_.clauses.push_back(std::move(c));
     }
   }
 
@@ -283,7 +238,9 @@ class NativeSolver final : public Solver {
       case Op::Add:
         for (ExprId k : n.kids) linearize(k, scale, coeffs, constant);
         break;
-      case Op::MulConst: linearize(n.kids[0], scale * n.value, coeffs, constant); break;
+      case Op::MulConst:
+        linearize(n.kids[0], scale * n.value, coeffs, constant);
+        break;
       default:
         throw std::logic_error("native solver: expected integer expression");
     }
@@ -303,7 +260,7 @@ class NativeSolver final : public Solver {
     a.bound = -constant;
     if (a.terms.empty()) {
       const bool truth = a.is_eq ? (a.bound == 0) : (0 <= a.bound);
-      return mk_lit(true_var_, !truth);
+      return mk_lit(sh_.true_var, !truth);
     }
     if (a.is_eq) {
       // Divisibility cut at translation time: Σ c·x = b with gcd(c) ∤ b
@@ -312,7 +269,7 @@ class NativeSolver final : public Solver {
       // ever has to discover it.
       std::int64_t g = 0;
       for (const auto& [v, c] : a.terms) g = std::gcd(g, c < 0 ? -c : c);
-      if (g > 1 && a.bound % g != 0) return mk_lit(true_var_, true);
+      if (g > 1 && a.bound % g != 0) return mk_lit(sh_.true_var, true);
     }
     if (a.is_eq && a.terms[0].second < 0) {  // canonical sign for dedup
       for (auto& t : a.terms) t.second = -t.second;
@@ -339,17 +296,17 @@ class NativeSolver final : public Solver {
       a.when_false = {flipped};
     }
     const int v = new_bvar();
-    const int ai = static_cast<int>(atoms_.size());
-    atom_of_var_[v] = ai;
-    atom_var_.push_back(v);
+    const int ai = static_cast<int>(sh_.atoms.size());
+    sh_.atom_of_var[static_cast<std::size_t>(v)] = ai;
+    sh_.atom_var.push_back(v);
     for (const auto& [iv, c] : a.terms) {
       (void)c;
-      if (static_cast<std::size_t>(iv) >= atom_occ_.size()) {
-        atom_occ_.resize(static_cast<std::size_t>(iv) + 1);
+      if (static_cast<std::size_t>(iv) >= sh_.atom_occ.size()) {
+        sh_.atom_occ.resize(static_cast<std::size_t>(iv) + 1);
       }
-      atom_occ_[static_cast<std::size_t>(iv)].push_back(ai);
+      sh_.atom_occ[static_cast<std::size_t>(iv)].push_back(ai);
     }
-    atoms_.push_back(std::move(a));
+    sh_.atoms.push_back(std::move(a));
     atom_index_.emplace(std::move(key), v);
     return mk_lit(v, false);
   }
@@ -360,10 +317,10 @@ class NativeSolver final : public Solver {
     const Node& n = f_.node(id);
     Lit res = 0;
     switch (n.op) {
-      case Op::BoolConst: res = mk_lit(true_var_, n.value == 0); break;
+      case Op::BoolConst: res = mk_lit(sh_.true_var, n.value == 0); break;
       case Op::BoolVar: {
         const int v = new_bvar();
-        named_bools_.emplace_back(v, n.name);
+        sh_.named_bools.emplace_back(v, n.name);
         res = mk_lit(v, false);
         break;
       }
@@ -424,1544 +381,230 @@ class NativeSolver final : public Solver {
     return res;
   }
 
-  // ----------------------------------------------------------------- search
+  // ---------------------------------------------------------- orchestration
 
-  // The deadline is polled in *every* potentially long loop — boolean
-  // propagation, interval tightening, the entailed-atom rescan, value
-  // enumeration and node expansion in branch-and-bound — so timeout_ms is
-  // honored promptly even on divergent flow systems whose interval
-  // fixpoint walks bounds one unit at a time.
-  void bump_ops() {
-    if (deadline_active_ && (++ops_ & 0x3ff) == 0 && Clock::now() > deadline_) {
-      throw Timeout{};
+  static SatResult from_outcome(Outcome out) {
+    switch (out) {
+      case Outcome::Sat: return SatResult::Sat;
+      case Outcome::Unsat: return SatResult::Unsat;
+      default: return SatResult::Unknown;  // Unknown / Budget / Cancelled
     }
   }
 
-  [[nodiscard]] Val value_lit(Lit l) const {
-    const Val v = assign_[static_cast<std::size_t>(var_of(l))];
-    if (v == kUndef) return kUndef;
-    return is_neg(l) ? (v == kTrue ? kFalse : kTrue) : v;
+  /// Publishes a context's result (model or core) into the Solver base.
+  SatResult adopt(const SearchContext& ctx, Outcome out) {
+    if (out == Outcome::Sat) {
+      store_model(Model(ctx.model()));
+    } else if (out == Outcome::Unsat && !ctx.core().empty()) {
+      store_core(std::vector<ExprId>(ctx.core()));
+    }
+    return from_outcome(out);
   }
 
-  [[nodiscard]] int current_level() const {
-    return static_cast<int>(levels_.size());
+  /// Session stats = the primary context's lifetime counters plus the
+  /// accumulated counters of every ephemeral worker that ever ran
+  /// (extra_), with the gauges (learned_kept, threads) from the present.
+  void refresh_stats() {
+    SolveStats s = primary_->stats();
+    s.decisions += extra_.decisions;
+    s.conflicts += extra_.conflicts;
+    s.propagations += extra_.propagations;
+    s.restarts += extra_.restarts;
+    s.learned_clauses += extra_.learned_clauses;
+    s.deleted_clauses += extra_.deleted_clauses;
+    s.learned_hits += extra_.learned_hits;
+    s.theory_pivots += extra_.theory_pivots;
+    s.farkas_explanations += extra_.farkas_explanations;
+    s.clauses_exported += extra_.clauses_exported;
+    s.clauses_imported += extra_.clauses_imported;
+    s.learned_kept = primary_->learned_live();
+    s.threads = threads_;
+    mutable_stats() = s;
   }
 
-  bool enqueue(Lit l, int reason) {
-    const int v = var_of(l);
-    const Val want = is_neg(l) ? kFalse : kTrue;
-    const Val cur = assign_[static_cast<std::size_t>(v)];
-    if (cur != kUndef) return cur == want;
-    assign_[static_cast<std::size_t>(v)] = want;
-    reason_[static_cast<std::size_t>(v)] = reason;
-    level_[static_cast<std::size_t>(v)] = current_level();
-    trail_.push_back(l);
-    if (reason != kReasonNone) ++mutable_stats().propagations;
-    return true;
+  void accumulate(const SolveStats& w) {
+    extra_.decisions += w.decisions;
+    extra_.conflicts += w.conflicts;
+    extra_.propagations += w.propagations;
+    extra_.restarts += w.restarts;
+    extra_.learned_clauses += w.learned_clauses;
+    extra_.deleted_clauses += w.deleted_clauses;
+    extra_.learned_hits += w.learned_hits;
+    extra_.theory_pivots += w.theory_pivots;
+    extra_.farkas_explanations += w.farkas_explanations;
+    extra_.clauses_exported += w.clauses_exported;
+    extra_.clauses_imported += w.clauses_imported;
   }
 
-  /// Unit propagation over the watch lists; returns the index of a
-  /// conflicting clause, or -1 at fixpoint.
-  int propagate_bool() {
-    while (qhead_ < trail_.size()) {
-      bump_ops();
-      const Lit l = trail_[qhead_++];
-      const Lit fl = neg(l);
-      auto& ws = watches_[static_cast<std::size_t>(fl)];
-      std::size_t i = 0;
-      std::size_t keep = 0;
-      int conflict = -1;
-      while (i < ws.size()) {
-        const int ci = ws[i];
-        Clause& cl = cls_[static_cast<std::size_t>(ci)];
-        if (cl.deleted) {  // lazily drop tombstoned watch entries
-          ++i;
-          continue;
+  /// Harvests worker learning back into the primary context in worker
+  /// order (deterministic when the workers were): exportable clauses,
+  /// deduplicated against each other, plus learned unit consequences.
+  /// Sound for the same reason the exchange is — non-tainted learned
+  /// clauses are entailed by the permanent problem alone.
+  void harvest(const std::vector<std::unique_ptr<SearchContext>>& workers) {
+    std::vector<std::vector<Lit>> clauses;
+    std::vector<Lit> units;
+    for (const auto& w : workers) {
+      w->harvest_into(clauses, kHarvestCap);
+      w->harvest_units_into(units);
+      accumulate(w->stats());
+    }
+    std::set<std::vector<Lit>> seen;
+    std::vector<std::vector<Lit>> unique_clauses;
+    unique_clauses.reserve(clauses.size());
+    for (std::vector<Lit>& c : clauses) {
+      std::vector<Lit> key = c;
+      std::sort(key.begin(), key.end());
+      if (seen.insert(std::move(key)).second) {
+        unique_clauses.push_back(std::move(c));
+      }
+    }
+    primary_->adopt_clauses(unique_clauses);
+    primary_->adopt_units(units);
+  }
+
+  /// Builds a fresh worker seeded with everything the session learned.
+  std::unique_ptr<SearchContext> make_worker(unsigned id,
+                                             ClauseExchange* exchange,
+                                             const std::atomic<bool>* stop,
+                                             bool diversify) {
+    SearchConfig cfg;
+    cfg.id = id;
+    cfg.exchange = exchange;
+    cfg.stop = stop;
+    if (diversify && id > 0) {
+      cfg.restart_base = kPortfolioRestartBase[id % 4];
+      cfg.invert_default_phase = (id & 1) != 0;
+      cfg.reverse_atom_bias = (id & 2) != 0;
+    }
+    auto w = std::make_unique<SearchContext>(sh_, cfg);
+    w->seed_from(*primary_);
+    return w;
+  }
+
+  /// Parallel check. Portfolio mode races diversified workers on the
+  /// whole problem; cube mode (default) first probes on the primary
+  /// context under a conflict budget — deciding easy checks without
+  /// spawning anything — then splits on the hottest undecided variables.
+  /// Verdict combination is order-independent (any Sat wins; Unsat needs
+  /// every cube), so the verdict is reproducible even when the schedule
+  /// is not; in determinism mode (no exchange, no early cancellation,
+  /// static schedule) the statistics are reproducible too.
+  SatResult solve_parallel(CheckJob& job) {
+    ClauseExchange exchange;
+    std::atomic<bool> stop{false};
+    ClauseExchange* xch = deterministic_ ? nullptr : &exchange;
+    const std::atomic<bool>* stop_flag = deterministic_ ? nullptr : &stop;
+
+    std::vector<std::vector<Lit>> cubes;
+    if (!portfolio_) {
+      CheckJob probe = job;
+      probe.conflict_budget = kCubeProbeConflicts;
+      std::size_t want = 1;
+      while ((std::size_t{1} << want) < threads_ && want < kMaxCubeVars) {
+        ++want;
+      }
+      probe.hot_k = std::min(want + 1, kMaxCubeVars);
+      const Outcome out = primary_->solve(probe);
+      if (out != Outcome::Budget) return adopt(*primary_, out);
+      const std::vector<int>& hot = primary_->hot_vars();
+      for (std::size_t m = 0; m < (std::size_t{1} << hot.size()); ++m) {
+        std::vector<Lit> cube;
+        cube.reserve(hot.size());
+        for (std::size_t b = 0; b < hot.size(); ++b) {
+          cube.push_back(mk_lit(hot[b], (m >> b & 1) != 0));
         }
-        auto& c = cl.lits;
-        if (c[0] == fl) std::swap(c[0], c[1]);
-        if (value_lit(c[0]) == kTrue) {  // clause already satisfied
-          ws[keep++] = ws[i++];
-          continue;
+        cubes.push_back(std::move(cube));
+      }
+    }
+    const bool cube_mode = !portfolio_ && cubes.size() > 1;
+    if (!cube_mode && !portfolio_) {
+      // Nothing to split on (the probe found no open variables): finish
+      // the check on the primary context without a budget.
+      return adopt(*primary_, primary_->solve(job));
+    }
+
+    const std::size_t tasks = cube_mode ? cubes.size() : threads_;
+    const unsigned width =
+        static_cast<unsigned>(std::min<std::size_t>(threads_, tasks));
+    std::vector<std::unique_ptr<SearchContext>> workers;
+    workers.reserve(width);
+    for (unsigned t = 0; t < width; ++t) {
+      workers.push_back(make_worker(t, xch, stop_flag, /*diversify=*/
+                                    portfolio_ || !deterministic_));
+    }
+    std::vector<CheckJob> jobs(tasks, job);
+    std::vector<Outcome> outcomes(tasks, Outcome::Unknown);
+    // parallel_for_static pins task i to pool worker i % width, and each
+    // pool worker runs its tasks in order — so worker context i % width
+    // is never shared between live tasks, and in determinism mode the
+    // whole execution is a pure function of (problem, threads).
+    util::parallel_for_static(tasks, width, [&](std::size_t i) {
+      if (cube_mode) jobs[i].cube = &cubes[i];
+      SearchContext& ctx = *workers[i % width];
+      const Outcome out = ctx.solve(jobs[i]);
+      outcomes[i] = out;
+      if (stop_flag != nullptr) {
+        // Early cancellation: a Sat decides the whole check in cube
+        // mode; any definitive verdict decides it in portfolio mode.
+        if (out == Outcome::Sat ||
+            (!cube_mode && out == Outcome::Unsat)) {
+          stop.store(true, std::memory_order_relaxed);
         }
-        bool moved = false;
-        for (std::size_t k = 2; k < c.size(); ++k) {
-          if (value_lit(c[k]) != kFalse) {
-            std::swap(c[1], c[k]);
-            watches_[static_cast<std::size_t>(c[1])].push_back(ci);
-            moved = true;
-            break;
-          }
-        }
-        if (moved) {
-          ++i;  // watch migrated away from fl
-          continue;
-        }
-        if (cl.prior) ++mutable_stats().learned_hits;  // cross-check reuse
-        if (!enqueue(c[0], ci)) {  // unit clause contradicted
-          conflict = ci;
-          while (i < ws.size()) ws[keep++] = ws[i++];
+      }
+    });
+
+    // Combine: order-independent over the outcome multiset.
+    SatResult verdict;
+    std::size_t decider = tasks;
+    if (cube_mode) {
+      bool all_unsat = true;
+      for (std::size_t i = 0; i < tasks; ++i) {
+        if (outcomes[i] == Outcome::Sat) {
+          decider = i;
           break;
         }
-        ws[keep++] = ws[i++];
+        if (outcomes[i] != Outcome::Unsat) all_unsat = false;
       }
-      ws.resize(keep);
-      if (conflict >= 0) return conflict;
-    }
-    return -1;
-  }
-
-  // Undo entries are deduplicated per era (one per variable side between
-  // two restore points): interval propagation on an infeasible integer
-  // cycle can walk a bound by 1 for billions of steps, and logging every
-  // *value* would exhaust memory long before the tightening budget
-  // triggers. The provenance log (blog_) is NOT deduplicated — each
-  // derivation appends one entry so explanations can walk derivation
-  // time — but it is rewound in lockstep with every undo mark and its
-  // growth between marks is bounded by the same tightening budget.
-  void set_bound(int v, bool is_hi, std::int64_t val, int src) {
-    auto& slot = is_hi ? hi_[static_cast<std::size_t>(v)]
-                       : lo_[static_cast<std::size_t>(v)];
-    auto& stamp = is_hi ? hi_stamp_[static_cast<std::size_t>(v)]
-                        : lo_stamp_[static_cast<std::size_t>(v)];
-    if (stamp != undo_era_) {
-      stamp = undo_era_;
-      undo_.push_back(UndoEntry{v, is_hi, slot});
-    }
-    slot = val;
-    const int node = bnode(v, is_hi);
-    blog_.push_back(BoundLog{node, src,
-                             bhead_[static_cast<std::size_t>(node)]});
-    bhead_[static_cast<std::size_t>(node)] =
-        static_cast<int>(blog_.size()) - 1;
-    if (dirty_stamp_[static_cast<std::size_t>(v)] != dirty_gen_) {
-      dirty_stamp_[static_cast<std::size_t>(v)] = dirty_gen_;
-      dirty_vars_.push_back(v);
-    }
-  }
-
-  void undo_to(std::size_t mark) {
-    while (undo_.size() > mark) {
-      const UndoEntry& u = undo_.back();
-      (u.is_hi ? hi_[static_cast<std::size_t>(u.var)]
-               : lo_[static_cast<std::size_t>(u.var)]) = u.old_bound;
-      undo_.pop_back();
-    }
-    ++undo_era_;  // stamps from before the restore are no longer valid
-  }
-
-  void rewind_blog(std::size_t mark) {
-    while (blog_.size() > mark) {
-      bhead_[static_cast<std::size_t>(blog_.back().node)] = blog_.back().prev;
-      blog_.pop_back();
-    }
-  }
-
-  void activate_row(const StaticRow* r, Lit cause) {
-    const int ri = static_cast<int>(active_rows_.size());
-    active_rows_.push_back(r);
-    active_row_lit_.push_back(cause);
-    for (const auto& [v, c] : r->terms) {
-      (void)c;
-      row_occ_[static_cast<std::size_t>(v)].push_back(ri);
-    }
-    row_work_.push_back(ri);
-  }
-
-  void deactivate_rows_to(std::size_t mark) {
-    while (active_rows_.size() > mark) {
-      const StaticRow* r = active_rows_.back();
-      for (const auto& [v, c] : r->terms) {
-        (void)c;
-        row_occ_[static_cast<std::size_t>(v)].pop_back();
+      if (decider < tasks) {
+        verdict = SatResult::Sat;
+      } else if (all_unsat) {
+        verdict = SatResult::Unsat;
+        // Union of the per-cube assumption cores, in cube order.
+        std::vector<ExprId> core;
+        std::set<ExprId> seen;
+        for (std::size_t i = 0; i < tasks; ++i) {
+          for (ExprId e : workers[i % width]->core()) {
+            if (seen.insert(e).second) core.push_back(e);
+          }
+        }
+        if (!core.empty()) store_core(std::move(core));
+      } else {
+        verdict = SatResult::Unknown;
       }
-      active_rows_.pop_back();
-      active_row_lit_.pop_back();
-    }
-  }
-
-  /// Interval tightening to fixpoint over the worklist; true on conflict.
-  /// Bounded: an infeasible integer cycle makes the fixpoint walk bounds
-  /// one unit per lap (no finite convergence), so refinement stops after a
-  /// budget proportional to the active system — sound, merely less
-  /// pruning, and the leaf search degrades the verdict to Unknown.
-  /// Final sweep after an exhausted tightening budget: the LIFO worklist
-  /// can starve a row that is already violated by the walked bounds (the
-  /// divergent lap keeps re-queuing itself on top), so check every active
-  /// row once before giving up — a definite conflict beats an Unknown
-  /// leaf.
-  bool scan_violated_row() {
-    for (std::size_t ri = 0; ri < active_rows_.size(); ++ri) {
-      bump_ops();
-      const StaticRow& r = *active_rows_[ri];
-      __int128 minsum = 0;
-      bool finite = true;
-      for (const auto& [v, c] : r.terms) {
-        const std::int64_t b = c > 0 ? lo_[static_cast<std::size_t>(v)]
-                                     : hi_[static_cast<std::size_t>(v)];
-        if (b == kNegInf || b == kPosInf) {
-          finite = false;
+    } else {
+      verdict = SatResult::Unknown;
+      for (std::size_t i = 0; i < tasks; ++i) {
+        if (outcomes[i] == Outcome::Sat) {
+          verdict = SatResult::Sat;
+          decider = i;
           break;
         }
-        minsum += static_cast<__int128>(c) * b;
-      }
-      if (finite && minsum > r.bound) {
-        conflict_row_ = static_cast<int>(ri);
-        conflict_var_ = -1;
-        return true;
-      }
-    }
-    return false;
-  }
-
-  /// Exact fallback for an exhausted tightening budget: on divergent
-  /// systems — some active variable still unbounded; a bounded system's
-  /// fixpoint always converges, it is merely large — the rational simplex
-  /// decides the active rows (plus branch-and-bound pins) outright. An
-  /// infeasibility lands its Farkas tags in sconf_rows_/sconf_pins_ and
-  /// becomes the theory conflict, so an infeasible unbounded flow cycle is
-  /// refuted in a handful of pivots instead of walked one unit at a time.
-  bool simplex_refute() {
-    bool unbounded = false;
-    for (const StaticRow* r : active_rows_) {
-      for (const auto& [v, c] : r->terms) {
-        (void)c;
-        if (lo_[static_cast<std::size_t>(v)] == kNegInf ||
-            hi_[static_cast<std::size_t>(v)] == kPosInf) {
-          unbounded = true;
-          break;
+        if (outcomes[i] == Outcome::Unsat && verdict != SatResult::Sat) {
+          if (decider == tasks) decider = i;
+          verdict = SatResult::Unsat;
         }
       }
-      if (unbounded) break;
-    }
-    if (!unbounded) return false;
-    const SimplexTheory::Result res =
-        stx_.check(active_rows_, pin_trail_, /*integer_complete=*/false);
-    sync_theory_stats();
-    if (res.verdict != SimplexTheory::Verdict::Infeasible) return false;
-    sconf_rows_ = res.conflict_rows;
-    sconf_pins_ = res.conflict_pins;
-    conflict_row_ = -1;
-    conflict_var_ = -1;
-    return true;
-  }
-
-  void sync_theory_stats() {
-    mutable_stats().theory_pivots = stx_.pivots();
-    mutable_stats().farkas_explanations = stx_.explanations();
-  }
-
-  /// Turns the pending simplex conflict into theory_conflict_ literals:
-  /// the negated activating atoms of the Farkas rows. The ≤/≥ rows of one
-  /// equality atom share a literal, hence the dedup.
-  void emit_simplex_conflict() {
-    for (const int ri : sconf_rows_) {
-      theory_conflict_.push_back(
-          neg(active_row_lit_[static_cast<std::size_t>(ri)]));
-    }
-    std::sort(theory_conflict_.begin(), theory_conflict_.end());
-    theory_conflict_.erase(
-        std::unique(theory_conflict_.begin(), theory_conflict_.end()),
-        theory_conflict_.end());
-    sconf_rows_.clear();
-    sconf_pins_.clear();
-  }
-
-  bool propagate_rows() {
-    std::uint64_t budget = 64 * active_rows_.size() + 1024;
-    while (!row_work_.empty()) {
-      if (budget == 0) {
-        row_work_.clear();
-        if (scan_violated_row()) return true;
-        return simplex_refute();
-      }
-      bump_ops();
-      const int ri = row_work_.back();
-      row_work_.pop_back();
-      const StaticRow& r = *active_rows_[static_cast<std::size_t>(ri)];
-
-      __int128 minsum = 0;
-      int ninf = 0;
-      for (const auto& [v, c] : r.terms) {
-        const std::int64_t b =
-            c > 0 ? lo_[static_cast<std::size_t>(v)] : hi_[static_cast<std::size_t>(v)];
-        if (b == kNegInf || b == kPosInf) ++ninf;
-        else minsum += static_cast<__int128>(c) * b;
-      }
-      if (ninf == 0 && minsum > r.bound) {
-        conflict_row_ = ri;
-        conflict_var_ = -1;
-        row_work_.clear();
-        return true;
-      }
-      for (const auto& [v, c] : r.terms) {
-        bump_ops();
-        const std::int64_t b =
-            c > 0 ? lo_[static_cast<std::size_t>(v)] : hi_[static_cast<std::size_t>(v)];
-        const bool self_inf = (b == kNegInf || b == kPosInf);
-        if (ninf - (self_inf ? 1 : 0) > 0) continue;  // another var unbounded
-        const __int128 rest =
-            self_inf ? minsum : minsum - static_cast<__int128>(c) * b;
-        const __int128 slack = static_cast<__int128>(r.bound) - rest;
-        // Derived bounds are clamped only toward looseness: a bound beyond
-        // +/-kBoundClamp is either dropped (no information) or relaxed to
-        // the clamp, never tightened past what the row entails — claiming
-        // a tighter bound than entailed could turn Sat into Unsat.
-        bool changed = false;
-        if (c > 0) {  // c·v ≤ slack  →  v ≤ ⌊slack/c⌋
-          const __int128 nb = floor_div(slack, c);
-          if (nb <= kBoundClamp && nb < hi_[static_cast<std::size_t>(v)]) {
-            set_bound(v, true,
-                      nb < -kBoundClamp ? -kBoundClamp
-                                        : static_cast<std::int64_t>(nb),
-                      ri);
-            changed = true;
-          }
-        } else {  // c·v ≤ slack, c<0  →  v ≥ ⌈slack/c⌉ = -⌊slack/(-c)⌋
-          const __int128 nb = -floor_div(slack, -c);
-          if (nb >= -kBoundClamp && nb > lo_[static_cast<std::size_t>(v)]) {
-            set_bound(v, false,
-                      nb > kBoundClamp ? kBoundClamp
-                                       : static_cast<std::int64_t>(nb),
-                      ri);
-            changed = true;
-          }
-        }
-        if (changed) {
-          --budget;
-          if (lo_[static_cast<std::size_t>(v)] > hi_[static_cast<std::size_t>(v)]) {
-            conflict_row_ = -1;
-            conflict_var_ = v;  // lo/hi crossing: both sides' entries explain
-            row_work_.clear();
-            return true;
-          }
-          for (int rj : row_occ_[static_cast<std::size_t>(v)]) {
-            row_work_.push_back(rj);
-          }
-          if (budget == 0) break;
-        }
+      if (verdict == SatResult::Unsat &&
+          !workers[decider % width]->core().empty()) {
+        store_core(std::vector<ExprId>(workers[decider % width]->core()));
       }
     }
-    return false;
-  }
-
-  /// Activates the theory rows of atoms assigned since the last call and
-  /// re-runs bounds propagation; true on conflict.
-  bool activate_theory() {
-    row_work_.clear();
-    for (; theory_head_ < trail_.size(); ++theory_head_) {
-      const Lit l = trail_[theory_head_];
-      const int v = var_of(l);
-      const int ai = atom_of_var_[static_cast<std::size_t>(v)];
-      if (ai < 0) continue;
-      const Atom& a = atoms_[static_cast<std::size_t>(ai)];
-      const bool tv = !is_neg(l);
-      for (const StaticRow& r : tv ? a.when_true : a.when_false) {
-        activate_row(&r, l);
-      }
-      if (a.is_eq && !tv) active_diseqs_.push_back(ai);
+    if (verdict == SatResult::Sat) {
+      store_model(Model(workers[decider % width]->model()));
     }
-    return propagate_rows();
-  }
-
-  // ---------------------------------------------- provenance explanations
-  //
-  // A derivation's justification is a walk over the chronological bound
-  // log: entry e (row R derived this bound) is justified by R's
-  // activating atom plus, for each min-side input of R, that input's
-  // latest log entry OLDER than e. Walking derivation time — instead of
-  // a mutable current-source graph — keeps the proof DAG acyclic and
-  // grounded: self-referential tightening laps (row A tightens x from y,
-  // row B re-tightens y from x) overwrite *current* sources and lose the
-  // seed bound that grounded the lap, but the log still holds the full
-  // chronology, so the seed's atoms are always recovered. The result is
-  // a small, exact set of atoms (plus branch-and-bound pins) for every
-  // theory deduction — the difference between re-refuting shared
-  // substructure once per probe and learning it once, and load-bearing
-  // for soundness: a conflict explained with too few atoms would learn a
-  // clause the theory does not entail.
-
-  // Provenance-graph node: bound side `is_hi` of integer variable v.
-  static int bnode(int v, bool is_hi) { return 2 * v + (is_hi ? 1 : 0); }
-
-  /// Latest log entry for `node` strictly older than entry `before`
-  /// (pass blog_.size() for "now"); -1 when none.
-  [[nodiscard]] int entry_before(int node, int before) const {
-    int e = bhead_[static_cast<std::size_t>(node)];
-    while (e >= before) e = blog_[static_cast<std::size_t>(e)].prev;
-    return e;
-  }
-
-  void expl_begin() {
-    if (row_seen_.size() < active_rows_.size()) {
-      row_seen_.resize(active_rows_.size(), 0);
-    }
-    if (pin_seen_.size() < int_names_.size()) {
-      pin_seen_.resize(int_names_.size(), 0);
-    }
-    if (entry_seen_.size() < blog_.size()) {
-      entry_seen_.resize(blog_.size(), 0);
-    }
-    ++expl_gen_;
-    expl_stack_.clear();
-  }
-
-  /// Appends `ri`'s negated activating atom once per explanation pass.
-  void emit_row_atom(int ri, std::vector<Lit>* atoms_out) {
-    if (atoms_out == nullptr) return;
-    if (row_seen_[static_cast<std::size_t>(ri)] == expl_gen_) return;
-    row_seen_[static_cast<std::size_t>(ri)] = expl_gen_;
-    atoms_out->push_back(neg(active_row_lit_[static_cast<std::size_t>(ri)]));
-  }
-
-  void collect_pin(int var, std::vector<int>* pins_out) {
-    if (pins_out == nullptr) return;
-    if (pin_seen_[static_cast<std::size_t>(var)] == expl_gen_) return;
-    pin_seen_[static_cast<std::size_t>(var)] = expl_gen_;
-    pins_out->push_back(var);
-  }
-
-  /// Queues log entry `e` (>= 0) for justification.
-  void expl_push(int e) {
-    if (entry_seen_[static_cast<std::size_t>(e)] == expl_gen_) return;
-    entry_seen_[static_cast<std::size_t>(e)] = expl_gen_;
-    expl_stack_.push_back(e);
-  }
-
-  /// Queues the justification of row `ri` evaluated at log time `before`:
-  /// its atom plus its min-side inputs' entries older than `before`.
-  void expl_seed_row(int ri, int before, std::vector<Lit>* atoms_out) {
-    emit_row_atom(ri, atoms_out);
-    for (const auto& [u, c] :
-         active_rows_[static_cast<std::size_t>(ri)]->terms) {
-      const int e = entry_before(bnode(u, c < 0), before);
-      if (e >= 0) expl_push(e);
-    }
-  }
-
-  /// Drains the justification queue. Emits the negated activating atoms
-  /// of every row encountered into `atoms_out` (skipped when null) and
-  /// the pinned variables the derivations rest on into `pins_out`
-  /// (skipped when null — pins cannot occur during boolean search).
-  void expl_run(std::vector<Lit>* atoms_out, std::vector<int>* pins_out) {
-    while (!expl_stack_.empty()) {
-      bump_ops();
-      const int e = expl_stack_.back();
-      expl_stack_.pop_back();
-      const BoundLog& le = blog_[static_cast<std::size_t>(e)];
-      if (src_is_pin(le.src)) {
-        collect_pin(pin_var(le.src), pins_out);
-        continue;
-      }
-      const StaticRow& r = *active_rows_[static_cast<std::size_t>(le.src)];
-      emit_row_atom(le.src, atoms_out);
-      const int out_var = le.node >> 1;
-      for (const auto& [u, c] : r.terms) {
-        // The derivation consumed the row's min-side inputs (lo for
-        // positive coefficients, hi for negative) of every term except
-        // the output variable itself — its own opposite bound never
-        // enters the slack.
-        if (u == out_var) continue;
-        const int f = entry_before(bnode(u, c < 0), e);
-        if (f >= 0) expl_push(f);
-      }
-    }
-  }
-
-  /// Enqueues unassigned atom literals the current bounds entail, with an
-  /// eagerly-stored provenance explanation (the few atoms whose rows
-  /// produced the entailing bounds) so conflict analysis can resolve them;
-  /// the boolean search then never has to rediscover them by conflict.
-  /// Only atoms over variables whose bounds changed since the last scan
-  /// are re-evaluated (set_bound records them in dirty_vars_).
-  bool propagate_entailed_atoms() {
-    bool any = false;
-    scan_stamp_.resize(atoms_.size(), 0);
-    ++scan_gen_;
-    for (std::size_t at = 0; at < dirty_vars_.size(); ++at) {
-      const int iv = dirty_vars_[at];
-      if (static_cast<std::size_t>(iv) >= atom_occ_.size()) continue;
-      for (const int ai : atom_occ_[static_cast<std::size_t>(iv)]) {
-        bump_ops();
-        if (scan_stamp_[static_cast<std::size_t>(ai)] == scan_gen_) continue;
-        scan_stamp_[static_cast<std::size_t>(ai)] = scan_gen_;
-        const int v = atom_var_[static_cast<std::size_t>(ai)];
-        if (assign_[static_cast<std::size_t>(v)] != kUndef) continue;
-        const Atom& a = atoms_[static_cast<std::size_t>(ai)];
-        int entailed = 0;  // +1 atom true, -1 atom false
-        expl_begin();
-        const int now = static_cast<int>(blog_.size());
-        // Seed the walk with the bound entries the decisive row status
-        // read: min-side bounds for a forced-false row (its minimum
-        // already exceeds the bound), max-side bounds for forced-true.
-        auto seed_sides = [&](const StaticRow& r, bool min_side) {
-          for (const auto& [u, c] : r.terms) {
-            const int e = entry_before(bnode(u, min_side ? c < 0 : c > 0), now);
-            if (e >= 0) expl_push(e);
-          }
-        };
-        if (!a.is_eq) {
-          entailed = row_status(a.when_true[0]);
-          if (entailed != 0) seed_sides(a.when_true[0], entailed < 0);
-        } else {
-          const int s0 = row_status(a.when_true[0]);
-          const int s1 = row_status(a.when_true[1]);
-          if (s0 < 0 || s1 < 0) {
-            entailed = -1;
-            seed_sides(a.when_true[s0 < 0 ? 0 : 1], true);
-          } else if (s0 > 0 && s1 > 0) {
-            entailed = +1;
-            seed_sides(a.when_true[0], false);
-            seed_sides(a.when_true[1], false);
-          }
-        }
-        if (entailed != 0) {
-          // Explanation must be captured now: bounds keep tightening
-          // after this enqueue, and a later snapshot could cite atoms
-          // assigned *after* this literal, breaking the analyzer's
-          // reverse-trail walk.
-          expl_scratch_.clear();
-          expl_run(&expl_scratch_, nullptr);
-          expl_off_[static_cast<std::size_t>(v)] =
-              static_cast<std::uint32_t>(expl_pool_.size());
-          expl_len_[static_cast<std::size_t>(v)] =
-              static_cast<std::uint32_t>(expl_scratch_.size());
-          expl_pool_.insert(expl_pool_.end(), expl_scratch_.begin(),
-                            expl_scratch_.end());
-          const bool ok = enqueue(mk_lit(v, entailed < 0), kReasonTheory);
-          (void)ok;  // the variable was unassigned
-          any = true;
-        }
-      }
-    }
-    clear_dirty();
-    return any;
-  }
-
-  void clear_dirty() {
-    dirty_vars_.clear();
-    ++dirty_gen_;
-  }
-
-  struct Conflict {
-    enum Kind { kNone, kClause, kTheory } kind = kNone;
-    int ci = -1;  // kClause only
-  };
-
-  Conflict propagate_all() {
-    for (;;) {
-      const int ci = propagate_bool();
-      if (ci >= 0) return {Conflict::kClause, ci};
-      if (theory_head_ != trail_.size()) {
-        if (activate_theory()) return {Conflict::kTheory, -1};
-        continue;  // theory may tighten bounds; rescan atoms below
-      }
-      if (!propagate_entailed_atoms()) return {Conflict::kNone, -1};
-    }
-  }
-
-  /// Entailment of an atom's ≤-row under the current bounds: +1 forced
-  /// true, -1 forced false, 0 open.
-  int row_status(const StaticRow& r) const {
-    __int128 minsum = 0, maxsum = 0;
-    int min_inf = 0, max_inf = 0;
-    for (const auto& [v, c] : r.terms) {
-      const std::int64_t lo = lo_[static_cast<std::size_t>(v)];
-      const std::int64_t hi = hi_[static_cast<std::size_t>(v)];
-      const std::int64_t toward_min = c > 0 ? lo : hi;
-      const std::int64_t toward_max = c > 0 ? hi : lo;
-      if (toward_min == kNegInf || toward_min == kPosInf) ++min_inf;
-      else minsum += static_cast<__int128>(c) * toward_min;
-      if (toward_max == kNegInf || toward_max == kPosInf) ++max_inf;
-      else maxsum += static_cast<__int128>(c) * toward_max;
-    }
-    if (min_inf == 0 && minsum > r.bound) return -1;
-    if (max_inf == 0 && maxsum <= r.bound) return +1;
-    return 0;
-  }
-
-  /// Phase for deciding a variable: for atoms, follow what the bounds
-  /// already entail so the first branch is not an immediate theory
-  /// conflict; otherwise the saved polarity (phase saving — seeded from
-  /// the previous check's final assignment, updated on every unassign),
-  /// defaulting to false.
-  bool decide_phase_negated(int v) const {
-    const int ai = atom_of_var_[static_cast<std::size_t>(v)];
-    if (ai >= 0) {
-      const Atom& a = atoms_[static_cast<std::size_t>(ai)];
-      if (!a.is_eq) {
-        const int s = row_status(a.when_true[0]);
-        if (s != 0) return s < 0;
-      } else {
-        const int s0 = row_status(a.when_true[0]);
-        const int s1 = row_status(a.when_true[1]);
-        if (s0 < 0 || s1 < 0) return true;
-        if (s0 > 0 && s1 > 0) return false;
-      }
-    }
-    if (polarity_[static_cast<std::size_t>(v)] != kUndef) {
-      return polarity_[static_cast<std::size_t>(v)] == kFalse;
-    }
-    return true;
-  }
-
-  // -------------------------------------------------- activity heap (VSIDS)
-
-  void heap_swap(std::size_t i, std::size_t j) {
-    std::swap(heap_[i], heap_[j]);
-    heap_pos_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
-    heap_pos_[static_cast<std::size_t>(heap_[j])] = static_cast<int>(j);
-  }
-
-  void heap_up(std::size_t i) {
-    while (i > 0) {
-      const std::size_t p = (i - 1) / 2;
-      if (activity_[static_cast<std::size_t>(heap_[i])] <=
-          activity_[static_cast<std::size_t>(heap_[p])]) {
-        break;
-      }
-      heap_swap(i, p);
-      i = p;
-    }
-  }
-
-  void heap_down(std::size_t i) {
-    for (;;) {
-      const std::size_t l = 2 * i + 1;
-      const std::size_t r = l + 1;
-      std::size_t best = i;
-      if (l < heap_.size() &&
-          activity_[static_cast<std::size_t>(heap_[l])] >
-              activity_[static_cast<std::size_t>(heap_[best])]) {
-        best = l;
-      }
-      if (r < heap_.size() &&
-          activity_[static_cast<std::size_t>(heap_[r])] >
-              activity_[static_cast<std::size_t>(heap_[best])]) {
-        best = r;
-      }
-      if (best == i) break;
-      heap_swap(i, best);
-      i = best;
-    }
-  }
-
-  void heap_insert(int v) {
-    if (heap_pos_[static_cast<std::size_t>(v)] >= 0) return;
-    heap_pos_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
-    heap_.push_back(v);
-    heap_up(heap_.size() - 1);
-  }
-
-  int heap_pop() {
-    const int v = heap_[0];
-    heap_pos_[static_cast<std::size_t>(v)] = -1;
-    if (heap_.size() > 1) {
-      heap_[0] = heap_.back();
-      heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
-    }
-    heap_.pop_back();
-    if (!heap_.empty()) heap_down(0);
-    return v;
-  }
-
-  void bump_var(int v) {
-    activity_[static_cast<std::size_t>(v)] += var_inc_;
-    if (activity_[static_cast<std::size_t>(v)] > kVarActRescale) {
-      for (double& a : activity_) a *= 1.0 / kVarActRescale;
-      var_inc_ *= 1.0 / kVarActRescale;
-    }
-    if (heap_pos_[static_cast<std::size_t>(v)] >= 0) {
-      heap_up(static_cast<std::size_t>(heap_pos_[static_cast<std::size_t>(v)]));
-    }
-  }
-
-  void bump_clause(int ci) {
-    Clause& c = cls_[static_cast<std::size_t>(ci)];
-    if (!c.learned) return;
-    c.act += cla_inc_;
-    if (c.act > kClaActRescale) {
-      for (Clause& cl : cls_) {
-        if (cl.learned) cl.act *= 1.0 / kClaActRescale;
-      }
-      cla_inc_ *= 1.0 / kClaActRescale;
-    }
-  }
-
-  int pick_branch() {
-    while (!heap_.empty()) {
-      const int v = heap_pop();
-      if (assign_[static_cast<std::size_t>(v)] == kUndef) return v;
-    }
-    return -1;
-  }
-
-  // ------------------------------------------------------- levels, backjump
-
-  struct LevelMark {
-    std::size_t trail, rows, diseqs, undo, expl, blog;
-  };
-
-  void push_level() {
-    ++undo_era_;
-    levels_.push_back(LevelMark{trail_.size(), active_rows_.size(),
-                                active_diseqs_.size(), undo_.size(),
-                                expl_pool_.size(), blog_.size()});
-  }
-
-  /// Unwinds to `target` decision levels, saving polarities and
-  /// re-inserting unassigned variables into the activity heap.
-  void backjump(int target) {
-    if (current_level() <= target) return;
-    const LevelMark mark = levels_[static_cast<std::size_t>(target)];
-    for (std::size_t i = trail_.size(); i > mark.trail; --i) {
-      const int v = var_of(trail_[i - 1]);
-      polarity_[static_cast<std::size_t>(v)] =
-          assign_[static_cast<std::size_t>(v)];
-      assign_[static_cast<std::size_t>(v)] = kUndef;
-      reason_[static_cast<std::size_t>(v)] = kReasonNone;
-      heap_insert(v);
-    }
-    trail_.resize(mark.trail);
-    qhead_ = mark.trail;
-    theory_head_ = mark.trail;
-    deactivate_rows_to(mark.rows);
-    active_diseqs_.resize(mark.diseqs);
-    undo_to(mark.undo);
-    rewind_blog(mark.blog);
-    expl_pool_.resize(mark.expl);
-    row_work_.clear();
-    clear_dirty();  // loosened bounds cannot newly entail anything
-    levels_.resize(static_cast<std::size_t>(target));
-    prefix_placed_ = std::min(prefix_placed_, target);
-    prefix_levels_ = std::min(prefix_levels_, target);
-  }
-
-  // --------------------------------------------------- learning (first UIP)
-
-  /// Collects the negations of the assigned theory-atom literals that can
-  /// participate in a theory deduction: row-activating literals always;
-  /// disequality literals only when `with_diseqs` (they prune leaves, not
-  /// bounds). `limit` bounds the trail prefix (explanations of an entailed
-  /// atom may only use literals assigned before it).
-  void collect_theory_lits(bool with_diseqs, std::size_t limit,
-                           std::vector<Lit>& out) const {
-    for (std::size_t i = 0; i < limit; ++i) {
-      const Lit l = trail_[i];
-      const int v = var_of(l);
-      if (level_[static_cast<std::size_t>(v)] == 0) continue;  // permanent
-      const int ai = atom_of_var_[static_cast<std::size_t>(v)];
-      if (ai < 0) continue;
-      const Atom& a = atoms_[static_cast<std::size_t>(ai)];
-      const bool tv = !is_neg(l);
-      const bool activates = !(tv ? a.when_true : a.when_false).empty();
-      const bool diseq = a.is_eq && !tv;
-      if (activates || (with_diseqs && diseq)) out.push_back(neg(l));
-    }
-  }
-
-  /// First-UIP conflict analysis. `conflict` holds currently-false
-  /// literals whose conjunction of negations is refuted; at least one must
-  /// be at the current decision level. Produces learnt_ (learnt_[0] is the
-  /// asserting literal, learnt_[1] — when present — the backjump-level
-  /// watch) and returns the backjump level; lbd_out gets the clause's LBD.
-  ///
-  /// Resolution walks the trail in reverse. Clause-propagated literals
-  /// resolve with their reason clause; theory-propagated literals resolve
-  /// with the explanation "the row-activating atoms assigned before me
-  /// entail me" (a valid theory lemma); decisions and assumption-level
-  /// literals stay in the clause. Level-0 literals are dropped — level 0
-  /// holds only permanent material, so the drop never hides a retractable
-  /// dependency.
-  int analyze(const std::vector<Lit>& conflict, int conflict_ci,
-              int& lbd_out) {
-    const int clevel = current_level();
-    learnt_.assign(1, 0);  // slot 0: asserting literal, filled at the end
-    int counter = 0;
-    auto consider = [&](Lit q) {
-      const int v = var_of(q);
-      if (seen_[static_cast<std::size_t>(v)] ||
-          level_[static_cast<std::size_t>(v)] == 0) {
-        return;
-      }
-      seen_[static_cast<std::size_t>(v)] = 1;
-      to_clear_.push_back(v);
-      bump_var(v);
-      if (level_[static_cast<std::size_t>(v)] >= clevel) ++counter;
-      else learnt_.push_back(q);
-    };
-    for (Lit q : conflict) consider(q);
-    if (conflict_ci >= 0) bump_clause(conflict_ci);
-
-    Lit p = 0;
-    std::size_t idx = trail_.size();
-    for (;;) {
-      while (!seen_[static_cast<std::size_t>(var_of(trail_[idx - 1]))]) --idx;
-      p = trail_[--idx];
-      const int v = var_of(p);
-      seen_[static_cast<std::size_t>(v)] = 0;
-      if (--counter == 0) break;
-      const int r = reason_[static_cast<std::size_t>(v)];
-      if (r == kReasonTheory) {
-        // The eagerly-stored provenance explanation captured at enqueue
-        // time: the negated atoms whose rows entailed this literal.
-        const std::uint32_t off = expl_off_[static_cast<std::size_t>(v)];
-        const std::uint32_t len = expl_len_[static_cast<std::size_t>(v)];
-        for (std::uint32_t i = 0; i < len; ++i) consider(expl_pool_[off + i]);
-      } else {
-        // r >= 0: counter > 0 guarantees a resolvable (propagated) literal.
-        bump_clause(r);
-        for (Lit q : cls_[static_cast<std::size_t>(r)].lits) {
-          if (q != p) consider(q);
-        }
-      }
-    }
-    learnt_[0] = neg(p);
-
-    // Clause minimization: a literal is redundant when its reason clause
-    // is subsumed by the rest of the learnt clause (every other reason
-    // literal is already in the clause or permanent). Theory-propagated
-    // and decision literals are conservatively kept.
-    std::size_t j = 1;
-    for (std::size_t i = 1; i < learnt_.size(); ++i) {
-      const Lit q = learnt_[i];
-      const int v = var_of(q);
-      const int r = reason_[static_cast<std::size_t>(v)];
-      bool redundant = r >= 0;
-      if (redundant) {
-        for (Lit u : cls_[static_cast<std::size_t>(r)].lits) {
-          const int uv = var_of(u);
-          if (uv == v) continue;
-          if (!seen_[static_cast<std::size_t>(uv)] &&
-              level_[static_cast<std::size_t>(uv)] > 0) {
-            redundant = false;
-            break;
-          }
-        }
-      }
-      if (!redundant) learnt_[j++] = q;
-    }
-    learnt_.resize(j);
-
-    for (const int v : to_clear_) seen_[static_cast<std::size_t>(v)] = 0;
-    to_clear_.clear();
-
-    // Backjump level: the highest level below the asserting literal's;
-    // that literal moves to slot 1 as the second watch.
-    int bt = 0;
-    if (learnt_.size() > 1) {
-      std::size_t at = 1;
-      for (std::size_t i = 2; i < learnt_.size(); ++i) {
-        if (level_[static_cast<std::size_t>(var_of(learnt_[i]))] >
-            level_[static_cast<std::size_t>(var_of(learnt_[at]))]) {
-          at = i;
-        }
-      }
-      std::swap(learnt_[1], learnt_[at]);
-      bt = level_[static_cast<std::size_t>(var_of(learnt_[1]))];
-    }
-
-    // LBD: number of distinct decision levels in the clause.
-    lbd_levels_.clear();
-    for (const Lit q : learnt_) {
-      lbd_levels_.push_back(level_[static_cast<std::size_t>(var_of(q))]);
-    }
-    std::sort(lbd_levels_.begin(), lbd_levels_.end());
-    lbd_out = static_cast<int>(
-        std::unique(lbd_levels_.begin(), lbd_levels_.end()) -
-        lbd_levels_.begin());
-    return bt;
-  }
-
-  /// Conflict analysis over the assumption prefix (MiniSat analyzeFinal):
-  /// prefix literal `p` (entry `p_at` of assume_q_) came up false during
-  /// placement, so the active assertions refute the already-placed prefix
-  /// plus p. Walks the implication trail backwards from ¬p and collects
-  /// every prefix literal the derivation rests on, then maps the involved
-  /// literals back to this check's assumption expressions and stores them
-  /// as the unsat core (scoped-root prefix entries are assertions, not
-  /// assumptions, and are not reported).
-  void analyze_final(Lit p, int p_at) {
-    std::vector<ExprId> core;
-    std::vector<char> used(assume_src_.size(), 0);
-    auto add_source = [&](Lit q, int upto) {
-      // Several prefix entries can share one literal (duplicate or
-      // entailed assumptions); every matching assumption up to the failing
-      // entry was genuinely placed, so each is part of the refutation.
-      for (int i = 0; i <= upto && i < static_cast<int>(assume_q_.size());
-           ++i) {
-        if (assume_q_[static_cast<std::size_t>(i)] != q ||
-            used[static_cast<std::size_t>(i)] != 0) {
-          continue;
-        }
-        used[static_cast<std::size_t>(i)] = 1;
-        if (assume_src_[static_cast<std::size_t>(i)] >= 0) {
-          core.push_back(check_assumptions_->at(
-              static_cast<std::size_t>(assume_src_[static_cast<std::size_t>(i)])));
-        }
-      }
-    };
-    add_source(p, p_at);  // the failing assumption itself
-    if (level_[static_cast<std::size_t>(var_of(p))] > 0) {
-      seen_[static_cast<std::size_t>(var_of(p))] = 1;
-      for (std::size_t i = trail_.size(); i-- > 0;) {
-        const int v = var_of(trail_[i]);
-        if (!seen_[static_cast<std::size_t>(v)]) continue;
-        seen_[static_cast<std::size_t>(v)] = 0;
-        const int r = reason_[static_cast<std::size_t>(v)];
-        if (r == kReasonNone) {
-          // Level > 0 with no reason: during prefix placement every such
-          // literal is a placed prefix entry (heuristic decisions cannot
-          // precede an unplaced prefix literal).
-          add_source(trail_[i], p_at);
-        } else if (r == kReasonTheory) {
-          const std::uint32_t off = expl_off_[static_cast<std::size_t>(v)];
-          const std::uint32_t len = expl_len_[static_cast<std::size_t>(v)];
-          for (std::uint32_t k = 0; k < len; ++k) {
-            const int u = var_of(expl_pool_[off + k]);
-            if (level_[static_cast<std::size_t>(u)] > 0) {
-              seen_[static_cast<std::size_t>(u)] = 1;
-            }
-          }
-        } else {
-          for (const Lit q : cls_[static_cast<std::size_t>(r)].lits) {
-            const int u = var_of(q);
-            if (u != v && level_[static_cast<std::size_t>(u)] > 0) {
-              seen_[static_cast<std::size_t>(u)] = 1;
-            }
-          }
-        }
-      }
-    }
-    store_core(std::move(core));
-  }
-
-  /// Learns from a conflict (clause index `ci`, or a theory conflict when
-  /// ci < 0): analyzes, backjumps, attaches the learnt clause and asserts
-  /// its first literal. Returns false when the conflict is at level 0 —
-  /// the check is decided. Clauses learned after this check saw an
-  /// Unknown-degraded leaf are tainted: any of them may transitively
-  /// depend on an unproven refutation, so they all die at the next check.
-  bool resolve_conflict(const std::vector<Lit>& conflict, int ci) {
-    ++mutable_stats().conflicts;
-    int clevel = 0;
-    for (const Lit q : conflict) {
-      clevel = std::max(clevel, level_[static_cast<std::size_t>(var_of(q))]);
-    }
-    if (clevel == 0) return false;
-    // Leaf/theory conflicts may not involve the innermost decisions (e.g.
-    // a pure gate-variable decision after the last atom): analyze at the
-    // highest level that actually participates.
-    backjump(clevel);
-    int lbd = 0;
-    const int bt = analyze(conflict, ci, lbd);
-    backjump(bt);
-    const bool tainted = saw_unknown_;
-    ++mutable_stats().learned_clauses;
-    if (learnt_.size() == 1) {
-      // Unit consequence: permanent — re-asserted at level 0 of every
-      // later check via def_units_ — unless tainted, in which case it
-      // lives only on this check's trail and dies with it.
-      if (!tainted) def_units_.push_back(learnt_[0]);
-      const bool ok = enqueue(learnt_[0], kReasonNone);
-      (void)ok;  // unassigned: its level was above the backjump target
-    } else {
-      Clause cl;
-      cl.lits = learnt_;
-      cl.act = cla_inc_;
-      cl.lbd = lbd;
-      cl.learned = true;
-      cl.tainted = tainted;
-      const int lci = static_cast<int>(cls_.size());
-      cls_.push_back(std::move(cl));
-      ++num_learned_live_;
-      num_tainted_ += tainted ? 1 : 0;
-      watches_[static_cast<std::size_t>(cls_.back().lits[0])].push_back(lci);
-      watches_[static_cast<std::size_t>(cls_.back().lits[1])].push_back(lci);
-      const bool ok = enqueue(learnt_[0], lci);
-      (void)ok;
-    }
-    var_inc_ *= kVarActInc;
-    cla_inc_ *= kClaActInc;
-    ++conflicts_since_restart_;
-    return true;
-  }
-
-  /// Luby-scheduled restart (back to the assumption prefix — re-deciding
-  /// assumptions would only redo identical propagation) and LBD/activity
-  /// clause-database reduction.
-  void maybe_restart_or_reduce() {
-    if (conflicts_since_restart_ >= restart_limit_) {
-      ++mutable_stats().restarts;
-      conflicts_since_restart_ = 0;
-      restart_limit_ = luby(++restart_seq_) * kRestartBase;
-      backjump(std::min(prefix_levels_, current_level()));
-    }
-    if (num_learned_live_ >= kReduceBase + kReduceInc * num_reductions_) {
-      reduce_db();
-    }
-  }
-
-  /// Deletes the worst half of the deletable learned clauses (kept: small
-  /// LBD, binary, and locked clauses — those currently acting as a reason).
-  /// Deletion is a tombstone; watch entries drop lazily and the arena is
-  /// compacted at the next check boundary.
-  void reduce_db() {
-    ++num_reductions_;
-    arena_has_tombstones_ = true;
-    reduce_order_.clear();
-    for (std::size_t ci = 0; ci < cls_.size(); ++ci) {
-      const Clause& c = cls_[ci];
-      if (!c.learned || c.deleted || c.lbd <= 2 || c.lits.size() <= 2) {
-        continue;
-      }
-      const int v = var_of(c.lits[0]);
-      const bool locked =
-          assign_[static_cast<std::size_t>(v)] != kUndef &&
-          reason_[static_cast<std::size_t>(v)] == static_cast<int>(ci);
-      if (!locked) reduce_order_.push_back(static_cast<int>(ci));
-    }
-    // Worst first: highest LBD, then lowest activity; delete half.
-    std::sort(reduce_order_.begin(), reduce_order_.end(),
-              [this](int a, int b) {
-                const Clause& ca = cls_[static_cast<std::size_t>(a)];
-                const Clause& cb = cls_[static_cast<std::size_t>(b)];
-                if (ca.lbd != cb.lbd) return ca.lbd > cb.lbd;
-                if (ca.act != cb.act) return ca.act < cb.act;
-                return a < b;  // deterministic tie-break
-              });
-    const std::size_t victims = reduce_order_.size() / 2;
-    for (std::size_t i = 0; i < victims; ++i) {
-      Clause& c = cls_[static_cast<std::size_t>(reduce_order_[i])];
-      c.deleted = true;
-      c.lits.clear();
-      c.lits.shrink_to_fit();
-      --num_learned_live_;
-      ++mutable_stats().deleted_clauses;
-    }
-  }
-
-  // ------------------------------------------------------------ leaf search
-
-  void capture_model() {
-    Model m;
-    for (const auto& [v, name] : named_bools_) {
-      if (assign_[static_cast<std::size_t>(v)] != kUndef) {
-        m.set_bool(name, assign_[static_cast<std::size_t>(v)] == kTrue);
-      }
-    }
-    for (std::size_t v = 0; v < int_names_.size(); ++v) {
-      if (lo_[v] != kNegInf && lo_[v] == hi_[v]) {
-        m.set_int(int_names_[v], lo_[v]);
-      }
-    }
-    store_model(std::move(m));
-  }
-
-  /// Expands provenance seeds transitively and collects the *pinned*
-  static bool pins_contain(const std::vector<int>& pins, int v) {
-    return std::find(pins.begin(), pins.end(), v) != pins.end();
-  }
-
-  /// Queues the justification of the conflict propagate_rows just
-  /// reported, evaluated at the current end of the provenance log.
-  void seed_row_conflict() {
-    const int now = static_cast<int>(blog_.size());
-    if (conflict_row_ >= 0) {
-      expl_seed_row(conflict_row_, now, nullptr);
-    } else {
-      for (const bool hi : {false, true}) {
-        const int e = entry_before(bnode(conflict_var_, hi), now);
-        if (e >= 0) expl_push(e);
-      }
-    }
-  }
-
-  /// Branch-and-bound completion of the integer domains at a full boolean
-  /// assignment, with conflict-directed backjumping: every refutation
-  /// reports which pinned variables it actually used, and a subtree whose
-  /// refutation does not involve the variable branched on here refutes the
-  /// *whole* node — the remaining values are skipped and the conflict set
-  /// is passed up, which collapses the classic thrash over variables
-  /// irrelevant to the infeasible core. Sat captures the model before
-  /// returning; `conflict_pins` accumulates the pin set on Unsat.
-  SatResult int_branch(const std::vector<int>& branch_vars,
-                       std::vector<int>& conflict_pins) {
-    bump_ops();
-    if (int_budget_ == 0) return SatResult::Unknown;
-    --int_budget_;
-    int best = -1;
-    std::int64_t best_width = kPosInf;
-    for (int v : branch_vars) {
-      const std::int64_t lo = lo_[static_cast<std::size_t>(v)];
-      const std::int64_t hi = hi_[static_cast<std::size_t>(v)];
-      if (lo == hi) continue;
-      const std::int64_t width =
-          (lo == kNegInf || hi == kPosInf) ? kPosInf - 1 : hi - lo;
-      if (width < best_width) {
-        best_width = width;
-        best = v;
-      }
-    }
-    if (best < 0) {  // every constrained variable is fixed
-      for (int ai : active_diseqs_) {
-        const Atom& a = atoms_[static_cast<std::size_t>(ai)];
-        __int128 sum = 0;
-        for (const auto& [v, c] : a.terms) {
-          sum += static_cast<__int128>(c) * lo_[static_cast<std::size_t>(v)];
-        }
-        if (sum == a.bound) {  // disequality violated by the fixed values
-          expl_begin();
-          const int now = static_cast<int>(blog_.size());
-          for (const auto& [v, c] : a.terms) {
-            (void)c;
-            for (const bool hi : {false, true}) {
-              const int e = entry_before(bnode(v, hi), now);
-              if (e >= 0) expl_push(e);
-            }
-          }
-          expl_run(nullptr, &conflict_pins);
-          return SatResult::Unsat;
-        }
-      }
-      capture_model();
-      return SatResult::Sat;
-    }
-
-    const std::int64_t lo = lo_[static_cast<std::size_t>(best)];
-    const std::int64_t hi = hi_[static_cast<std::size_t>(best)];
-    std::vector<std::int64_t> values;
-    bool artificial = false;
-    if (lo != kNegInf && hi != kPosInf && hi - lo <= kEnumWindow) {
-      // Boundary-first: witnesses pin most variables at a domain endpoint
-      // (empty queues, saturated blockers), so probe lo, hi, then walk the
-      // interior outward from lo. Equality propagation usually fixes the
-      // rest after the first few assignments.
-      values.push_back(lo);
-      if (hi != lo) values.push_back(hi);
-      for (std::int64_t x = lo + 1; x < hi; ++x) {
-        bump_ops();
-        values.push_back(x);
-      }
-    } else if (lo != kNegInf) {
-      artificial = true;
-      for (std::int64_t x = lo; x < lo + kUnboundedProbes; ++x) values.push_back(x);
-    } else if (hi != kPosInf) {
-      artificial = true;
-      for (std::int64_t x = hi; x > hi - kUnboundedProbes; --x) values.push_back(x);
-    } else {
-      artificial = true;
-      values.push_back(0);
-      for (std::int64_t x = 1; x <= kUnboundedProbes / 2; ++x) {
-        values.push_back(x);
-        values.push_back(-x);
-      }
-    }
-
-    bool unknown = false;
-    std::vector<int> node_pins;   // union of per-value conflicts, sans best
-    std::vector<int> value_pins;  // per-value scratch
-    for (const std::int64_t val : values) {
-      bump_ops();
-      const std::size_t mark = undo_.size();
-      const std::size_t bmark = blog_.size();
-      ++undo_era_;
-      set_bound(best, false, val, pin_src(best));
-      set_bound(best, true, val, pin_src(best));
-      pin_trail_.push_back(theory::Pin{best, val});
-      row_work_.clear();
-      for (int rj : row_occ_[static_cast<std::size_t>(best)]) {
-        row_work_.push_back(rj);
-      }
-      value_pins.clear();
-      bool refuted = false;
-      if (propagate_rows()) {
-        if (!sconf_rows_.empty() || !sconf_pins_.empty()) {
-          // Simplex refutation: the Farkas certificate names the pins it
-          // used directly — exactly the conflict set the backjumping
-          // wants. The rows are boolean-level context covered by the
-          // blocking clause learned at the leaf.
-          for (const int pi : sconf_pins_) {
-            const int pv = pin_trail_[static_cast<std::size_t>(pi)].var;
-            if (!pins_contain(value_pins, pv)) value_pins.push_back(pv);
-          }
-          sconf_rows_.clear();
-          sconf_pins_.clear();
-        } else {
-          expl_begin();
-          seed_row_conflict();
-          expl_run(nullptr, &value_pins);
-        }
-        refuted = true;
-      } else {
-        const SatResult r = int_branch(branch_vars, value_pins);
-        if (r == SatResult::Sat) {
-          undo_to(mark);
-          rewind_blog(bmark);
-          pin_trail_.pop_back();
-          return SatResult::Sat;
-        }
-        if (r == SatResult::Unknown) unknown = true;
-        else refuted = true;
-      }
-      undo_to(mark);
-      rewind_blog(bmark);
-      pin_trail_.pop_back();
-      if (refuted && !pins_contain(value_pins, best)) {
-        // The refutation never used best's pin: it holds for every value
-        // of best (even ones probed earlier with an Unknown verdict) —
-        // the whole node is refuted, skip the other values.
-        for (int p : value_pins) {
-          if (!pins_contain(conflict_pins, p)) conflict_pins.push_back(p);
-        }
-        return SatResult::Unsat;
-      }
-      for (int p : value_pins) {
-        if (p != best && !pins_contain(node_pins, p)) node_pins.push_back(p);
-      }
-    }
-    if (artificial) unknown = true;
-    if (unknown) return SatResult::Unknown;
-    for (int p : node_pins) {
-      if (!pins_contain(conflict_pins, p)) conflict_pins.push_back(p);
-    }
-    // The enumerated domain itself rests on best's entry bounds, whose
-    // provenance may reach ancestor pins through rows — collect them
-    // transitively (the loop's rewinds restored the entry state).
-    expl_begin();
-    const int now = static_cast<int>(blog_.size());
-    for (const bool hi : {false, true}) {
-      const int e = entry_before(bnode(best, hi), now);
-      if (e >= 0) expl_push(e);
-    }
-    expl_run(nullptr, &conflict_pins);
-    return SatResult::Unsat;
-  }
-
-  /// Final-check rescue for a leaf the branch-and-bound search degraded to
-  /// Unknown: the simplex decides the active rows exactly — rationally
-  /// and, via branch-on-rational-vertex cuts, over the integers. Unsat
-  /// leaves the Farkas rows in sconf_rows_ for the caller's blocking
-  /// clause; Sat pins the integer witness and captures the model; a blown
-  /// branch budget (or an active disequality the witness misses — the
-  /// simplex never sees disequalities) keeps the honest Unknown.
-  SatResult simplex_rescue() {
-    const SimplexTheory::Result res =
-        stx_.check(active_rows_, /*pins=*/{}, /*integer_complete=*/true);
-    sync_theory_stats();
-    switch (res.verdict) {
-      case SimplexTheory::Verdict::Infeasible:
-        sconf_rows_ = res.conflict_rows;
-        sconf_pins_.clear();  // no pins were passed
-        return SatResult::Unsat;
-      case SimplexTheory::Verdict::IntegerModel: {
-        const std::size_t mark = undo_.size();
-        const std::size_t bmark = blog_.size();
-        ++undo_era_;
-        for (const theory::Pin& p : res.model) {
-          set_bound(p.var, false, p.value, pin_src(p.var));
-          set_bound(p.var, true, p.value, pin_src(p.var));
-        }
-        bool diseqs_ok = true;
-        for (const int ai : active_diseqs_) {
-          const Atom& a = atoms_[static_cast<std::size_t>(ai)];
-          __int128 sum = 0;
-          bool fixed = true;
-          for (const auto& [v, c] : a.terms) {
-            const std::int64_t lo = lo_[static_cast<std::size_t>(v)];
-            if (lo == kNegInf || lo != hi_[static_cast<std::size_t>(v)]) {
-              fixed = false;  // variable outside the active rows: unknown
-              break;
-            }
-            sum += static_cast<__int128>(c) * lo;
-          }
-          if (!fixed || sum == a.bound) {
-            diseqs_ok = false;
-            break;
-          }
-        }
-        if (diseqs_ok) {
-          capture_model();
-          return SatResult::Sat;
-        }
-        undo_to(mark);
-        rewind_blog(bmark);
-        return SatResult::Unknown;
-      }
-      case SimplexTheory::Verdict::Feasible:
-        break;  // rationally feasible, integer-open: stay Unknown
-    }
-    return SatResult::Unknown;
-  }
-
-  SatResult int_complete() {
-    std::vector<int> branch_vars;
-    std::vector<char> seen(int_names_.size(), 0);
-    auto mark_var = [&](int v) {
-      if (!seen[static_cast<std::size_t>(v)]) {
-        seen[static_cast<std::size_t>(v)] = 1;
-        branch_vars.push_back(v);
-      }
-    };
-    for (const StaticRow* r : active_rows_) {
-      for (const auto& [v, c] : r->terms) {
-        (void)c;
-        mark_var(v);
-      }
-    }
-    for (int ai : active_diseqs_) {
-      for (const auto& [v, c] : atoms_[static_cast<std::size_t>(ai)].terms) {
-        (void)c;
-        mark_var(v);
-      }
-    }
-    const std::size_t mark = undo_.size();
-    const std::size_t bmark = blog_.size();
-    ++undo_era_;
-    int_budget_ = kIntNodeBudget;
-    std::vector<int> conflict_pins;  // top-level pins: none to report to
-    const SatResult r = int_branch(branch_vars, conflict_pins);
-    if (r != SatResult::Sat) {
-      undo_to(mark);
-      rewind_blog(bmark);
-    }
-    return r;
-  }
-
-  // --------------------------------------------------------- per-check prep
-
-  /// Prepares the search state for a fresh check while keeping everything
-  /// that is expensive to rebuild: the clause database (problem *and*
-  /// learned clauses), the Tseitin/atom translation caches, and the
-  /// bounds-undo machinery. Tainted clauses from a previous check's
-  /// Unknown-degraded leaves are purged here — they are the only learned
-  /// material that is not entailed — and the arena is compacted over
-  /// clauses tombstoned by reduce_db() before the watch lists are rebuilt.
-  void reset_search() {
-    // Unwind the previous check: restore every bound changed since scope 0
-    // (Sat leaves bounds pinned for model capture) and unassign the trail,
-    // saving its polarities as the next check's phase hints.
-    levels_.clear();
-    deactivate_rows_to(0);
-    undo_to(0);
-    rewind_blog(0);
-    polarity_.resize(static_cast<std::size_t>(num_bvars_), kUndef);
-    for (Lit l : trail_) {
-      const auto v = static_cast<std::size_t>(var_of(l));
-      polarity_[v] = assign_[v];
-      assign_[v] = kUndef;
-    }
-    trail_.clear();
-    qhead_ = theory_head_ = 0;
-    active_diseqs_.clear();
-    row_work_.clear();
-    pin_trail_.clear();  // a Timeout can unwind past the leaf search's pops
-    sconf_rows_.clear();
-    sconf_pins_.clear();
-    clear_dirty();
-
-    // Compact the clause arena: drop tombstones and tainted clauses. Safe
-    // only here — the trail is empty, so no clause is locked as a reason
-    // and the watch invariant is vacuous.
-    if (num_tainted_ > 0 || arena_has_tombstones_) {
-      std::size_t w = 0;
-      for (std::size_t ci = 0; ci < cls_.size(); ++ci) {
-        Clause& c = cls_[ci];
-        if (c.deleted) continue;
-        if (c.tainted) {
-          --num_learned_live_;
-          ++mutable_stats().deleted_clauses;
-          continue;
-        }
-        if (w != ci) cls_[w] = std::move(c);
-        ++w;
-      }
-      cls_.resize(w);
-      num_tainted_ = 0;
-      arena_has_tombstones_ = false;
-    }
-
-    // Grow per-variable structures for material translated since the last
-    // check, then rebuild the watch lists from scratch (cheap relative to
-    // a solver call, and it sweeps the lazily-dropped watch entries).
-    const auto nv = static_cast<std::size_t>(num_bvars_);
-    assign_.resize(nv, kUndef);
-    reason_.resize(nv, kReasonNone);
-    level_.resize(nv, 0);
-    seen_.resize(nv, 0);
-    // Activities restart fresh each check, with a tiny edge for theory
-    // atoms: deciding atoms first lets bounds propagation fix the gate
-    // variables instead of the other way around (measured ~50x on the 4x4
-    // sizing probes vs. deciding in creation order). Stale activity from
-    // a previous check pointed at that check's conflicts, not this one's,
-    // so it is deliberately not carried over — phase saving and the
-    // learned clauses carry the cross-check memory instead.
-    activity_.clear();
-    while (activity_.size() < nv) {
-      const auto v = activity_.size();
-      activity_.push_back(atom_of_var_[v] >= 0 ? 1e-6 : 0.0);
-    }
-    var_inc_ = 1.0;
-    heap_pos_.assign(nv, -1);
-    heap_.clear();
-    for (int v = 0; v < num_bvars_; ++v) heap_insert(v);
-    watches_.assign(2 * nv, {});
-    for (std::size_t ci = 0; ci < cls_.size(); ++ci) {
-      // Everything learned before this boundary counts as cross-check
-      // material from here on (learned_hits tracks its reuse).
-      cls_[ci].prior = cls_[ci].learned;
-      const auto& c = cls_[ci].lits;
-      watches_[static_cast<std::size_t>(c[0])].push_back(static_cast<int>(ci));
-      watches_[static_cast<std::size_t>(c[1])].push_back(static_cast<int>(ci));
-    }
-    const std::size_t n = int_names_.size();
-    lo_.resize(n, kNegInf);
-    hi_.resize(n, kPosInf);
-    bhead_.resize(2 * n, -1);
-    lo_stamp_.resize(n, 0);
-    hi_stamp_.resize(n, 0);
-    row_occ_.resize(n);
-    dirty_stamp_.resize(n, 0);
-    scan_stamp_.resize(atoms_.size(), 0);
-    expl_pool_.clear();
-    expl_off_.resize(nv, 0);
-    expl_len_.resize(nv, 0);
-    saw_unknown_ = false;
-    prefix_placed_ = prefix_levels_ = 0;
-    conflicts_since_restart_ = 0;
-    restart_seq_ = 0;
-    restart_limit_ = luby(restart_seq_) * kRestartBase;
-  }
-
-  [[nodiscard]] SatResult finish_unsat() const {
-    return saw_unknown_ ? SatResult::Unknown : SatResult::Unsat;
-  }
-
-  SatResult run_check(const std::vector<ExprId>& assumptions) {
-    for (; translated_roots_ < roots_.size(); ++translated_roots_) {
-      root_lits_.push_back(translate_bool(roots_[translated_roots_]));
-    }
-    // Assumption literals reuse the same memoized translation, so repeated
-    // probes over the same expressions add no clauses after the first.
-    std::vector<Lit> assumption_lits;
-    assumption_lits.reserve(assumptions.size());
-    for (ExprId a : assumptions) assumption_lits.push_back(translate_bool(a));
-    if (trivially_unsat_) return SatResult::Unsat;
-    reset_search();
-
-    // Level 0 holds only *permanent* facts: definitional units and the
-    // scope-0 roots, which no pop() can ever retract. Conflict analysis
-    // silently drops level-0 literals, so everything placed here must
-    // stay true for the session's lifetime.
-    for (Lit l : def_units_) {
-      if (!enqueue(l, kReasonNone)) return finish_unsat();
-    }
-    const std::size_t permanent =
-        scopes_.empty() ? root_lits_.size() : scopes_.front();
-    for (std::size_t i = 0; i < std::min(permanent, root_lits_.size()); ++i) {
-      if (!enqueue(root_lits_[i], kReasonNone)) return finish_unsat();
-    }
-    // Scoped roots and this check's assumptions form the assumption
-    // prefix: each gets its own decision level (MiniSat style), so learned
-    // clauses can only depend on them by mentioning their negations — the
-    // clauses stay valid after any pop() and after the assumptions are
-    // retracted at the end of this check.
-    assume_q_.clear();
-    assume_src_.clear();
-    for (std::size_t i = permanent; i < root_lits_.size(); ++i) {
-      assume_q_.push_back(root_lits_[i]);
-      assume_src_.push_back(-1);  // scoped root, not a per-check assumption
-    }
-    for (std::size_t i = 0; i < assumption_lits.size(); ++i) {
-      assume_q_.push_back(assumption_lits[i]);
-      assume_src_.push_back(static_cast<int>(i));
-    }
-    check_assumptions_ = &assumptions;
-
-    for (;;) {
-      const Conflict confl = propagate_all();
-      if (confl.kind != Conflict::kNone) {
-        theory_conflict_.clear();
-        if (confl.kind == Conflict::kTheory) {
-          if (!sconf_rows_.empty() || !sconf_pins_.empty()) {
-            // Farkas conflict: the refutation names its rows directly (no
-            // pins can exist during boolean search — the pin trail is
-            // empty outside the integer leaf search).
-            emit_simplex_conflict();
-          } else {
-            // Provenance expansion of the conflict: the negated atoms
-            // whose rows actually produced the contradiction.
-            expl_begin();
-            const int now = static_cast<int>(blog_.size());
-            if (conflict_row_ >= 0) {
-              expl_seed_row(conflict_row_, now, &theory_conflict_);
-            } else {
-              for (const bool hi : {false, true}) {
-                const int e = entry_before(bnode(conflict_var_, hi), now);
-                if (e >= 0) expl_push(e);
-              }
-            }
-            expl_run(&theory_conflict_, nullptr);
-          }
-        }
-        const std::vector<Lit>& lits =
-            confl.kind == Conflict::kClause
-                ? cls_[static_cast<std::size_t>(confl.ci)].lits
-                : theory_conflict_;
-        if (!resolve_conflict(lits, confl.kind == Conflict::kClause
-                                        ? confl.ci
-                                        : -1)) {
-          return finish_unsat();
-        }
-        maybe_restart_or_reduce();
-        continue;
-      }
-      if (prefix_placed_ < static_cast<int>(assume_q_.size())) {
-        const Lit p = assume_q_[static_cast<std::size_t>(prefix_placed_)];
-        if (value_lit(p) == kFalse) {
-          analyze_final(p, prefix_placed_);
-          return finish_unsat();
-        }
-        push_level();  // pseudo level when p already holds: keeps the
-                       // prefix 1:1 with levels across backjumps
-        ++prefix_placed_;
-        prefix_levels_ = current_level();
-        if (value_lit(p) == kUndef) {
-          const bool ok = enqueue(p, kReasonNone);
-          (void)ok;
-        }
-        continue;
-      }
-      const int v = pick_branch();
-      if (v >= 0) {
-        ++mutable_stats().decisions;
-        push_level();
-        const bool ok = enqueue(mk_lit(v, decide_phase_negated(v)),
-                                kReasonNone);
-        (void)ok;  // unassigned by construction
-        continue;
-      }
-      // Full boolean assignment: complete (or refute) the integer domains;
-      // a degraded leaf gets the exact simplex as a second opinion.
-      SatResult leaf = int_complete();
-      if (leaf == SatResult::Unknown) leaf = simplex_rescue();
-      if (leaf == SatResult::Sat) return SatResult::Sat;
-      if (leaf == SatResult::Unknown) saw_unknown_ = true;
-      // Block this combination of theory atoms. For a refuted leaf the
-      // blocking clause is a theory lemma — the exact Farkas atoms when
-      // the simplex produced the refutation, the full asserted-atom set
-      // otherwise; for an Unknown leaf it is *not* entailed — it (and
-      // everything learned after it) is tainted and the final Unsat
-      // degrades to Unknown.
-      theory_conflict_.clear();
-      if (!sconf_rows_.empty() || !sconf_pins_.empty()) {
-        emit_simplex_conflict();
-      } else {
-        collect_theory_lits(true, trail_.size(), theory_conflict_);
-      }
-      if (!resolve_conflict(theory_conflict_, -1)) return finish_unsat();
-      maybe_restart_or_reduce();
-    }
+    harvest(workers);
+    return verdict;
   }
 
   const ExprFactory& f_;
@@ -1972,98 +615,19 @@ class NativeSolver final : public Solver {
   std::size_t translated_roots_ = 0;
   std::vector<Lit> root_lits_;  // per translated root, aligned with roots_
   std::unordered_map<ExprId, Lit> lit_memo_;
-  int num_bvars_ = 0;
-  int true_var_ = -1;
-  std::vector<std::pair<int, std::string>> named_bools_;
   std::unordered_map<ExprId, int> int_index_;
-  std::vector<std::string> int_names_;
-  std::vector<int> atom_of_var_;  // bool var -> atom index or -1
-  std::vector<int> atom_var_;     // atom index -> bool var
-  std::vector<std::vector<int>> atom_occ_;  // int var -> atom indices
-  std::vector<Atom> atoms_;
   std::unordered_map<std::string, int> atom_index_;
   bool trivially_unsat_ = false;
 
-  // Clause database (persists across check() calls and pop()): problem
-  // clauses from translation plus the learned clauses.
-  std::vector<Clause> cls_;
-  std::vector<Lit> def_units_;      // permanent units (incl. learned units)
-  std::size_t num_learned_live_ = 0;
-  std::size_t num_tainted_ = 0;
-  bool arena_has_tombstones_ = false;
-  std::size_t num_reductions_ = 0;
+  // The encoded problem, shared read-only by every search context, and
+  // the primary context that persists learning across checks and pops.
+  SharedProblem sh_;
+  std::unique_ptr<SearchContext> primary_;
+  SolveStats extra_;  // accumulated counters of completed workers
 
-  // Search state (reset — but not reallocated — by reset_search()).
-  std::vector<Val> assign_;
-  std::vector<int> reason_;             // var -> clause / kReason*
-  std::vector<int> level_;              // var -> decision level
-  std::vector<std::vector<int>> watches_;  // literal -> watching clauses
-  std::vector<Lit> trail_;
-  std::size_t qhead_ = 0;
-  std::size_t theory_head_ = 0;
-  std::vector<LevelMark> levels_;
-  std::vector<Lit> assume_q_;  // scoped roots + assumptions, this check
-  std::vector<int> assume_src_;  // per entry: assumption index or -1 (root)
-  const std::vector<ExprId>* check_assumptions_ = nullptr;  // this check's
-  int prefix_placed_ = 0;      // prefix literals placed (1:1 with levels)
-  int prefix_levels_ = 0;      // levels occupied by the placed prefix
-  std::vector<std::int64_t> lo_, hi_;
-  std::vector<std::uint64_t> lo_stamp_, hi_stamp_;
-  std::uint64_t undo_era_ = 1;
-  std::vector<UndoEntry> undo_;
-  std::vector<const StaticRow*> active_rows_;
-  std::vector<Lit> active_row_lit_;  // activating atom literal, per row
-  std::vector<std::vector<int>> row_occ_;  // int var -> active row indices
-  std::vector<int> active_diseqs_;         // atom indices asserted ≠
-  std::vector<int> row_work_;
-  std::vector<Val> polarity_;    // saved phases (previous check + unassigns)
-  std::vector<int> dirty_vars_;  // int vars with bound changes to rescan
-  std::vector<std::uint64_t> dirty_stamp_;
-  std::uint64_t dirty_gen_ = 1;
-  std::vector<std::uint64_t> scan_stamp_;  // atom index -> last scan
-  std::uint64_t scan_gen_ = 0;
-  bool saw_unknown_ = false;
-  std::uint64_t int_budget_ = 0;
-
-  // Exact theory layer (tableau, basis and slack dedup persist for the
-  // session — the incremental half of the simplex; see simplex_theory.hpp).
-  SimplexTheory stx_;
-  std::vector<theory::Pin> pin_trail_;  // branch-and-bound pins in effect
-  std::vector<int> sconf_rows_;  // pending simplex conflict: row indices
-  std::vector<int> sconf_pins_;  // pending simplex conflict: pin indices
-
-  // CDCL working state.
-  std::vector<double> activity_;
-  double var_inc_ = 1.0;
-  double cla_inc_ = 1.0;
-  std::vector<int> heap_;      // activity max-heap of variables
-  std::vector<int> heap_pos_;  // var -> heap index or -1
-  std::vector<char> seen_;     // analysis scratch
-  std::vector<int> to_clear_;
-  std::vector<Lit> learnt_;
-  std::vector<Lit> theory_conflict_;
-  std::vector<int> lbd_levels_;
-  std::vector<int> reduce_order_;
-  // Provenance-explanation machinery (see "provenance explanations").
-  std::vector<BoundLog> blog_;  // chronological bound-derivation log
-  std::vector<int> bhead_;      // bound node -> latest log entry or -1
-  int conflict_row_ = -1;       // set by propagate_rows on conflict
-  int conflict_var_ = -1;
-  std::vector<int> expl_stack_;            // justification worklist
-  std::vector<std::uint64_t> entry_seen_;  // per log entry, stamped
-  std::vector<std::uint64_t> row_seen_;  // per active row: atom emitted
-  std::vector<std::uint64_t> pin_seen_;  // per int var: pin collected
-  std::uint64_t expl_gen_ = 0;
-  std::vector<Lit> expl_pool_;     // stored explanations, level-scoped
-  std::vector<Lit> expl_scratch_;
-  std::vector<std::uint32_t> expl_off_, expl_len_;  // per var, theory reason
-  std::uint64_t conflicts_since_restart_ = 0;
-  std::uint64_t restart_seq_ = 0;
-  std::uint64_t restart_limit_ = kRestartBase;
-
-  bool deadline_active_ = false;
-  Clock::time_point deadline_;
-  std::uint64_t ops_ = 0;
+  unsigned threads_ = 1;
+  bool deterministic_ = false;
+  bool portfolio_ = false;
 };
 
 }  // namespace

@@ -1,0 +1,1804 @@
+// Search half of the native CDCL(T) solver — see search_context.hpp for
+// the SharedProblem/SearchContext split and native_solver.cpp for the
+// translation/orchestration half. The algorithm is unchanged from the
+// pre-split solver: the bodies here are the former NativeSolver search
+// methods reading the immutable problem through sh_ and counting into the
+// context's own SolveStats, plus the parallel seams (stop-flag polling,
+// clause export/import, seeding and harvesting).
+#include "smt/search_context.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace advocat::smt::native {
+namespace {
+
+constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kPosInf = std::numeric_limits<std::int64_t>::max();
+// Derived bounds are clamped strictly inside the sentinels.
+constexpr std::int64_t kBoundClamp = std::int64_t{1} << 60;
+// Finite window probed for variables the constraints never bounded; an
+// exhausted probe degrades Unsat to Unknown (Sat stays exact).
+constexpr std::int64_t kUnboundedProbes = 4;
+// Branch-and-bound node budget per boolean leaf; an exhausted budget
+// degrades the leaf to Unknown so one pathological leaf cannot stall the
+// whole search.
+constexpr std::uint64_t kIntNodeBudget = 50'000;
+// Widest finite domain enumerated exhaustively before the same degradation.
+constexpr std::int64_t kEnumWindow = 1 << 16;
+
+// CDCL tuning. Restarts follow the Luby sequence scaled by the per-worker
+// restart base (SearchConfig::restart_base, default 192); learned-clause
+// reduction triggers once the live learned set exceeds kReduceBase +
+// kReduceInc per reduction already performed.
+constexpr std::size_t kReduceBase = 2000;
+constexpr std::size_t kReduceInc = 1000;
+constexpr double kVarActInc = 1.0 / 0.95;   // EVSIDS decay 0.95
+constexpr double kClaActInc = 1.0 / 0.999;  // clause-activity decay 0.999
+constexpr double kVarActRescale = 1e100;
+constexpr double kClaActRescale = 1e20;
+
+// Clause-exchange policy: only clauses likely to help another worker are
+// published — binaries always, otherwise low-LBD and short.
+constexpr int kExportLbdMax = 3;
+constexpr std::size_t kExportLenMax = 30;
+
+constexpr int kReasonNone = -1;    // decision / assumption / level-0 fact
+constexpr int kReasonTheory = -2;  // entailed by the active interval rows
+
+// Bound-provenance source codes: >= 0 is an active-row index, <= -2
+// encodes a branch-and-bound pin of integer variable pin_var(src).
+inline int pin_src(int var) { return -2 - var; }
+inline bool src_is_pin(int src) { return src <= -2; }
+inline int pin_var(int src) { return -2 - src; }
+
+// floor(a / b) for b > 0, exact in __int128.
+__int128 floor_div(__int128 a, std::int64_t b) {
+  __int128 q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+
+// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+std::uint64_t luby(std::uint64_t i) {
+  std::uint64_t size = 1;
+  while (size < i + 1) size = 2 * size + 1;
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    i %= size;
+  }
+  return (size + 1) / 2;
+}
+
+}  // namespace
+
+SearchContext::SearchContext(const SharedProblem& shared, SearchConfig config)
+    : sh_(shared), cfg_(config) {
+  // The simplex layer honors the same deadline/stop polling as every
+  // other loop. The callback pins this context's address, which is why
+  // SearchContext is non-copyable.
+  stx_.set_tick([this] { bump_ops(); });
+  restart_limit_ = cfg_.restart_base;
+}
+
+// ---------------------------------------------------------------- plumbing
+
+// The deadline (and, under parallel solving, the cross-worker stop flag)
+// is polled in *every* potentially long loop — boolean propagation,
+// interval tightening, the entailed-atom rescan, value enumeration and
+// node expansion in branch-and-bound — so timeouts and cancellation are
+// honored promptly even on divergent flow systems whose interval fixpoint
+// walks bounds one unit at a time.
+void SearchContext::bump_ops() {
+  if ((++ops_ & 0x3ff) != 0) return;
+  if (deadline_active_ && Clock::now() > deadline_) throw Timeout{};
+  if (cfg_.stop != nullptr && cfg_.stop->load(std::memory_order_relaxed)) {
+    throw Cancelled{};
+  }
+}
+
+Val SearchContext::value_lit(Lit l) const {
+  const Val v = assign_[static_cast<std::size_t>(var_of(l))];
+  if (v == kUndef) return kUndef;
+  return is_neg(l) ? (v == kTrue ? kFalse : kTrue) : v;
+}
+
+int SearchContext::current_level() const {
+  return static_cast<int>(levels_.size());
+}
+
+bool SearchContext::enqueue(Lit l, int reason) {
+  const int v = var_of(l);
+  const Val want = is_neg(l) ? kFalse : kTrue;
+  const Val cur = assign_[static_cast<std::size_t>(v)];
+  if (cur != kUndef) return cur == want;
+  assign_[static_cast<std::size_t>(v)] = want;
+  reason_[static_cast<std::size_t>(v)] = reason;
+  level_[static_cast<std::size_t>(v)] = current_level();
+  trail_.push_back(l);
+  if (reason != kReasonNone) ++stats_.propagations;
+  return true;
+}
+
+// Copies problem clauses translated since this context last looked. The
+// shared problem is append-only and frozen while workers run, so the copy
+// needs no lock; appending at the arena end reproduces exactly the clause
+// order the monolithic solver had (translation appended to the same
+// arena between checks).
+void SearchContext::sync_problem() {
+  for (; clauses_synced_ < sh_.clauses.size(); ++clauses_synced_) {
+    Clause cl;
+    cl.lits = sh_.clauses[clauses_synced_];
+    cls_.push_back(std::move(cl));
+  }
+}
+
+// --------------------------------------------------------------- propagate
+
+int SearchContext::propagate_bool() {
+  while (qhead_ < trail_.size()) {
+    bump_ops();
+    const Lit l = trail_[qhead_++];
+    const Lit fl = neg(l);
+    auto& ws = watches_[static_cast<std::size_t>(fl)];
+    std::size_t i = 0;
+    std::size_t keep = 0;
+    int conflict = -1;
+    while (i < ws.size()) {
+      const int ci = ws[i];
+      Clause& cl = cls_[static_cast<std::size_t>(ci)];
+      if (cl.deleted) {  // lazily drop tombstoned watch entries
+        ++i;
+        continue;
+      }
+      auto& c = cl.lits;
+      if (c[0] == fl) std::swap(c[0], c[1]);
+      if (value_lit(c[0]) == kTrue) {  // clause already satisfied
+        ws[keep++] = ws[i++];
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (value_lit(c[k]) != kFalse) {
+          std::swap(c[1], c[k]);
+          watches_[static_cast<std::size_t>(c[1])].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) {
+        ++i;  // watch migrated away from fl
+        continue;
+      }
+      if (cl.prior) ++stats_.learned_hits;  // cross-check reuse
+      if (!enqueue(c[0], ci)) {  // unit clause contradicted
+        conflict = ci;
+        while (i < ws.size()) ws[keep++] = ws[i++];
+        break;
+      }
+      ws[keep++] = ws[i++];
+    }
+    ws.resize(keep);
+    if (conflict >= 0) return conflict;
+  }
+  return -1;
+}
+
+// Undo entries are deduplicated per era (one per variable side between
+// two restore points): interval propagation on an infeasible integer
+// cycle can walk a bound by 1 for billions of steps, and logging every
+// *value* would exhaust memory long before the tightening budget
+// triggers. The provenance log (blog_) is NOT deduplicated — each
+// derivation appends one entry so explanations can walk derivation
+// time — but it is rewound in lockstep with every undo mark and its
+// growth between marks is bounded by the same tightening budget.
+void SearchContext::set_bound(int v, bool is_hi, std::int64_t val, int src) {
+  auto& slot = is_hi ? hi_[static_cast<std::size_t>(v)]
+                     : lo_[static_cast<std::size_t>(v)];
+  auto& stamp = is_hi ? hi_stamp_[static_cast<std::size_t>(v)]
+                      : lo_stamp_[static_cast<std::size_t>(v)];
+  if (stamp != undo_era_) {
+    stamp = undo_era_;
+    undo_.push_back(UndoEntry{v, is_hi, slot});
+  }
+  slot = val;
+  const int node = bnode(v, is_hi);
+  blog_.push_back(BoundLog{node, src, bhead_[static_cast<std::size_t>(node)]});
+  bhead_[static_cast<std::size_t>(node)] = static_cast<int>(blog_.size()) - 1;
+  if (dirty_stamp_[static_cast<std::size_t>(v)] != dirty_gen_) {
+    dirty_stamp_[static_cast<std::size_t>(v)] = dirty_gen_;
+    dirty_vars_.push_back(v);
+  }
+}
+
+void SearchContext::undo_to(std::size_t mark) {
+  while (undo_.size() > mark) {
+    const UndoEntry& u = undo_.back();
+    (u.is_hi ? hi_[static_cast<std::size_t>(u.var)]
+             : lo_[static_cast<std::size_t>(u.var)]) = u.old_bound;
+    undo_.pop_back();
+  }
+  ++undo_era_;  // stamps from before the restore are no longer valid
+}
+
+void SearchContext::rewind_blog(std::size_t mark) {
+  while (blog_.size() > mark) {
+    bhead_[static_cast<std::size_t>(blog_.back().node)] = blog_.back().prev;
+    blog_.pop_back();
+  }
+}
+
+void SearchContext::activate_row(const StaticRow* r, Lit cause) {
+  const int ri = static_cast<int>(active_rows_.size());
+  active_rows_.push_back(r);
+  active_row_lit_.push_back(cause);
+  for (const auto& [v, c] : r->terms) {
+    (void)c;
+    row_occ_[static_cast<std::size_t>(v)].push_back(ri);
+  }
+  row_work_.push_back(ri);
+}
+
+void SearchContext::deactivate_rows_to(std::size_t mark) {
+  while (active_rows_.size() > mark) {
+    const StaticRow* r = active_rows_.back();
+    for (const auto& [v, c] : r->terms) {
+      (void)c;
+      row_occ_[static_cast<std::size_t>(v)].pop_back();
+    }
+    active_rows_.pop_back();
+    active_row_lit_.pop_back();
+  }
+}
+
+// Final sweep after an exhausted tightening budget: the LIFO worklist can
+// starve a row that is already violated by the walked bounds (the
+// divergent lap keeps re-queuing itself on top), so check every active
+// row once before giving up — a definite conflict beats an Unknown leaf.
+bool SearchContext::scan_violated_row() {
+  for (std::size_t ri = 0; ri < active_rows_.size(); ++ri) {
+    bump_ops();
+    const StaticRow& r = *active_rows_[ri];
+    __int128 minsum = 0;
+    bool finite = true;
+    for (const auto& [v, c] : r.terms) {
+      const std::int64_t b = c > 0 ? lo_[static_cast<std::size_t>(v)]
+                                   : hi_[static_cast<std::size_t>(v)];
+      if (b == kNegInf || b == kPosInf) {
+        finite = false;
+        break;
+      }
+      minsum += static_cast<__int128>(c) * b;
+    }
+    if (finite && minsum > r.bound) {
+      conflict_row_ = static_cast<int>(ri);
+      conflict_var_ = -1;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Exact fallback for an exhausted tightening budget: on divergent systems
+// — some active variable still unbounded; a bounded system's fixpoint
+// always converges, it is merely large — the rational simplex decides the
+// active rows (plus branch-and-bound pins) outright. An infeasibility
+// lands its Farkas tags in sconf_rows_/sconf_pins_ and becomes the theory
+// conflict, so an infeasible unbounded flow cycle is refuted in a handful
+// of pivots instead of walked one unit at a time.
+bool SearchContext::simplex_refute() {
+  bool unbounded = false;
+  for (const StaticRow* r : active_rows_) {
+    for (const auto& [v, c] : r->terms) {
+      (void)c;
+      if (lo_[static_cast<std::size_t>(v)] == kNegInf ||
+          hi_[static_cast<std::size_t>(v)] == kPosInf) {
+        unbounded = true;
+        break;
+      }
+    }
+    if (unbounded) break;
+  }
+  if (!unbounded) return false;
+  const SimplexTheory::Result res =
+      stx_.check(active_rows_, pin_trail_, /*integer_complete=*/false);
+  sync_theory_stats();
+  if (res.verdict != SimplexTheory::Verdict::Infeasible) return false;
+  sconf_rows_ = res.conflict_rows;
+  sconf_pins_ = res.conflict_pins;
+  conflict_row_ = -1;
+  conflict_var_ = -1;
+  return true;
+}
+
+void SearchContext::sync_theory_stats() {
+  stats_.theory_pivots = stx_.pivots();
+  stats_.farkas_explanations = stx_.explanations();
+}
+
+// Turns the pending simplex conflict into theory_conflict_ literals: the
+// negated activating atoms of the Farkas rows. The ≤/≥ rows of one
+// equality atom share a literal, hence the dedup.
+void SearchContext::emit_simplex_conflict() {
+  for (const int ri : sconf_rows_) {
+    theory_conflict_.push_back(
+        neg(active_row_lit_[static_cast<std::size_t>(ri)]));
+  }
+  std::sort(theory_conflict_.begin(), theory_conflict_.end());
+  theory_conflict_.erase(
+      std::unique(theory_conflict_.begin(), theory_conflict_.end()),
+      theory_conflict_.end());
+  sconf_rows_.clear();
+  sconf_pins_.clear();
+}
+
+// Interval tightening to fixpoint over the worklist; true on conflict.
+// Bounded: an infeasible integer cycle makes the fixpoint walk bounds one
+// unit per lap (no finite convergence), so refinement stops after a
+// budget proportional to the active system — sound, merely less pruning,
+// and the leaf search degrades the verdict to Unknown.
+bool SearchContext::propagate_rows() {
+  std::uint64_t budget = 64 * active_rows_.size() + 1024;
+  while (!row_work_.empty()) {
+    if (budget == 0) {
+      row_work_.clear();
+      if (scan_violated_row()) return true;
+      return simplex_refute();
+    }
+    bump_ops();
+    const int ri = row_work_.back();
+    row_work_.pop_back();
+    const StaticRow& r = *active_rows_[static_cast<std::size_t>(ri)];
+
+    __int128 minsum = 0;
+    int ninf = 0;
+    for (const auto& [v, c] : r.terms) {
+      const std::int64_t b = c > 0 ? lo_[static_cast<std::size_t>(v)]
+                                   : hi_[static_cast<std::size_t>(v)];
+      if (b == kNegInf || b == kPosInf) ++ninf;
+      else minsum += static_cast<__int128>(c) * b;
+    }
+    if (ninf == 0 && minsum > r.bound) {
+      conflict_row_ = ri;
+      conflict_var_ = -1;
+      row_work_.clear();
+      return true;
+    }
+    for (const auto& [v, c] : r.terms) {
+      bump_ops();
+      const std::int64_t b = c > 0 ? lo_[static_cast<std::size_t>(v)]
+                                   : hi_[static_cast<std::size_t>(v)];
+      const bool self_inf = (b == kNegInf || b == kPosInf);
+      if (ninf - (self_inf ? 1 : 0) > 0) continue;  // another var unbounded
+      const __int128 rest =
+          self_inf ? minsum : minsum - static_cast<__int128>(c) * b;
+      const __int128 slack = static_cast<__int128>(r.bound) - rest;
+      // Derived bounds are clamped only toward looseness: a bound beyond
+      // +/-kBoundClamp is either dropped (no information) or relaxed to
+      // the clamp, never tightened past what the row entails — claiming
+      // a tighter bound than entailed could turn Sat into Unsat.
+      bool changed = false;
+      if (c > 0) {  // c·v ≤ slack  →  v ≤ ⌊slack/c⌋
+        const __int128 nb = floor_div(slack, c);
+        if (nb <= kBoundClamp && nb < hi_[static_cast<std::size_t>(v)]) {
+          set_bound(v, true,
+                    nb < -kBoundClamp ? -kBoundClamp
+                                      : static_cast<std::int64_t>(nb),
+                    ri);
+          changed = true;
+        }
+      } else {  // c·v ≤ slack, c<0  →  v ≥ ⌈slack/c⌉ = -⌊slack/(-c)⌋
+        const __int128 nb = -floor_div(slack, -c);
+        if (nb >= -kBoundClamp && nb > lo_[static_cast<std::size_t>(v)]) {
+          set_bound(v, false,
+                    nb > kBoundClamp ? kBoundClamp
+                                     : static_cast<std::int64_t>(nb),
+                    ri);
+          changed = true;
+        }
+      }
+      if (changed) {
+        --budget;
+        if (lo_[static_cast<std::size_t>(v)] >
+            hi_[static_cast<std::size_t>(v)]) {
+          conflict_row_ = -1;
+          conflict_var_ = v;  // lo/hi crossing: both sides' entries explain
+          row_work_.clear();
+          return true;
+        }
+        for (int rj : row_occ_[static_cast<std::size_t>(v)]) {
+          row_work_.push_back(rj);
+        }
+        if (budget == 0) break;
+      }
+    }
+  }
+  return false;
+}
+
+// Activates the theory rows of atoms assigned since the last call and
+// re-runs bounds propagation; true on conflict.
+bool SearchContext::activate_theory() {
+  row_work_.clear();
+  for (; theory_head_ < trail_.size(); ++theory_head_) {
+    const Lit l = trail_[theory_head_];
+    const int v = var_of(l);
+    const int ai = sh_.atom_of_var[static_cast<std::size_t>(v)];
+    if (ai < 0) continue;
+    const Atom& a = sh_.atoms[static_cast<std::size_t>(ai)];
+    const bool tv = !is_neg(l);
+    for (const StaticRow& r : tv ? a.when_true : a.when_false) {
+      activate_row(&r, l);
+    }
+    if (a.is_eq && !tv) active_diseqs_.push_back(ai);
+  }
+  return propagate_rows();
+}
+
+// ----------------------------------------------- provenance explanations
+//
+// A derivation's justification is a walk over the chronological bound
+// log: entry e (row R derived this bound) is justified by R's activating
+// atom plus, for each min-side input of R, that input's latest log entry
+// OLDER than e. Walking derivation time — instead of a mutable
+// current-source graph — keeps the proof DAG acyclic and grounded; see
+// the pre-split solver history for the full rationale. Load-bearing for
+// soundness: a conflict explained with too few atoms would learn a clause
+// the theory does not entail.
+
+int SearchContext::entry_before(int node, int before) const {
+  int e = bhead_[static_cast<std::size_t>(node)];
+  while (e >= before) e = blog_[static_cast<std::size_t>(e)].prev;
+  return e;
+}
+
+void SearchContext::expl_begin() {
+  if (row_seen_.size() < active_rows_.size()) {
+    row_seen_.resize(active_rows_.size(), 0);
+  }
+  if (pin_seen_.size() < sh_.int_names.size()) {
+    pin_seen_.resize(sh_.int_names.size(), 0);
+  }
+  if (entry_seen_.size() < blog_.size()) {
+    entry_seen_.resize(blog_.size(), 0);
+  }
+  ++expl_gen_;
+  expl_stack_.clear();
+}
+
+void SearchContext::emit_row_atom(int ri, std::vector<Lit>* atoms_out) {
+  if (atoms_out == nullptr) return;
+  if (row_seen_[static_cast<std::size_t>(ri)] == expl_gen_) return;
+  row_seen_[static_cast<std::size_t>(ri)] = expl_gen_;
+  atoms_out->push_back(neg(active_row_lit_[static_cast<std::size_t>(ri)]));
+}
+
+void SearchContext::collect_pin(int var, std::vector<int>* pins_out) {
+  if (pins_out == nullptr) return;
+  if (pin_seen_[static_cast<std::size_t>(var)] == expl_gen_) return;
+  pin_seen_[static_cast<std::size_t>(var)] = expl_gen_;
+  pins_out->push_back(var);
+}
+
+void SearchContext::expl_push(int e) {
+  if (entry_seen_[static_cast<std::size_t>(e)] == expl_gen_) return;
+  entry_seen_[static_cast<std::size_t>(e)] = expl_gen_;
+  expl_stack_.push_back(e);
+}
+
+void SearchContext::expl_seed_row(int ri, int before,
+                                  std::vector<Lit>* atoms_out) {
+  emit_row_atom(ri, atoms_out);
+  for (const auto& [u, c] : active_rows_[static_cast<std::size_t>(ri)]->terms) {
+    const int e = entry_before(bnode(u, c < 0), before);
+    if (e >= 0) expl_push(e);
+  }
+}
+
+void SearchContext::expl_run(std::vector<Lit>* atoms_out,
+                             std::vector<int>* pins_out) {
+  while (!expl_stack_.empty()) {
+    bump_ops();
+    const int e = expl_stack_.back();
+    expl_stack_.pop_back();
+    const BoundLog& le = blog_[static_cast<std::size_t>(e)];
+    if (src_is_pin(le.src)) {
+      collect_pin(pin_var(le.src), pins_out);
+      continue;
+    }
+    const StaticRow& r = *active_rows_[static_cast<std::size_t>(le.src)];
+    emit_row_atom(le.src, atoms_out);
+    const int out_var = le.node >> 1;
+    for (const auto& [u, c] : r.terms) {
+      // The derivation consumed the row's min-side inputs (lo for
+      // positive coefficients, hi for negative) of every term except
+      // the output variable itself — its own opposite bound never
+      // enters the slack.
+      if (u == out_var) continue;
+      const int f = entry_before(bnode(u, c < 0), e);
+      if (f >= 0) expl_push(f);
+    }
+  }
+}
+
+// Enqueues unassigned atom literals the current bounds entail, with an
+// eagerly-stored provenance explanation (the few atoms whose rows
+// produced the entailing bounds) so conflict analysis can resolve them;
+// the boolean search then never has to rediscover them by conflict.
+// Only atoms over variables whose bounds changed since the last scan
+// are re-evaluated (set_bound records them in dirty_vars_).
+bool SearchContext::propagate_entailed_atoms() {
+  bool any = false;
+  scan_stamp_.resize(sh_.atoms.size(), 0);
+  ++scan_gen_;
+  for (std::size_t at = 0; at < dirty_vars_.size(); ++at) {
+    const int iv = dirty_vars_[at];
+    if (static_cast<std::size_t>(iv) >= sh_.atom_occ.size()) continue;
+    for (const int ai : sh_.atom_occ[static_cast<std::size_t>(iv)]) {
+      bump_ops();
+      if (scan_stamp_[static_cast<std::size_t>(ai)] == scan_gen_) continue;
+      scan_stamp_[static_cast<std::size_t>(ai)] = scan_gen_;
+      const int v = sh_.atom_var[static_cast<std::size_t>(ai)];
+      if (assign_[static_cast<std::size_t>(v)] != kUndef) continue;
+      const Atom& a = sh_.atoms[static_cast<std::size_t>(ai)];
+      int entailed = 0;  // +1 atom true, -1 atom false
+      expl_begin();
+      const int now = static_cast<int>(blog_.size());
+      // Seed the walk with the bound entries the decisive row status
+      // read: min-side bounds for a forced-false row (its minimum
+      // already exceeds the bound), max-side bounds for forced-true.
+      auto seed_sides = [&](const StaticRow& r, bool min_side) {
+        for (const auto& [u, c] : r.terms) {
+          const int e = entry_before(bnode(u, min_side ? c < 0 : c > 0), now);
+          if (e >= 0) expl_push(e);
+        }
+      };
+      if (!a.is_eq) {
+        entailed = row_status(a.when_true[0]);
+        if (entailed != 0) seed_sides(a.when_true[0], entailed < 0);
+      } else {
+        const int s0 = row_status(a.when_true[0]);
+        const int s1 = row_status(a.when_true[1]);
+        if (s0 < 0 || s1 < 0) {
+          entailed = -1;
+          seed_sides(a.when_true[s0 < 0 ? 0 : 1], true);
+        } else if (s0 > 0 && s1 > 0) {
+          entailed = +1;
+          seed_sides(a.when_true[0], false);
+          seed_sides(a.when_true[1], false);
+        }
+      }
+      if (entailed != 0) {
+        // Explanation must be captured now: bounds keep tightening
+        // after this enqueue, and a later snapshot could cite atoms
+        // assigned *after* this literal, breaking the analyzer's
+        // reverse-trail walk.
+        expl_scratch_.clear();
+        expl_run(&expl_scratch_, nullptr);
+        expl_off_[static_cast<std::size_t>(v)] =
+            static_cast<std::uint32_t>(expl_pool_.size());
+        expl_len_[static_cast<std::size_t>(v)] =
+            static_cast<std::uint32_t>(expl_scratch_.size());
+        expl_pool_.insert(expl_pool_.end(), expl_scratch_.begin(),
+                          expl_scratch_.end());
+        const bool ok = enqueue(mk_lit(v, entailed < 0), kReasonTheory);
+        (void)ok;  // the variable was unassigned
+        any = true;
+      }
+    }
+  }
+  clear_dirty();
+  return any;
+}
+
+void SearchContext::clear_dirty() {
+  dirty_vars_.clear();
+  ++dirty_gen_;
+}
+
+SearchContext::Conflict SearchContext::propagate_all() {
+  for (;;) {
+    const int ci = propagate_bool();
+    if (ci >= 0) return {Conflict::kClause, ci};
+    if (theory_head_ != trail_.size()) {
+      if (activate_theory()) return {Conflict::kTheory, -1};
+      continue;  // theory may tighten bounds; rescan atoms below
+    }
+    if (!propagate_entailed_atoms()) return {Conflict::kNone, -1};
+  }
+}
+
+// Entailment of an atom's ≤-row under the current bounds: +1 forced true,
+// -1 forced false, 0 open.
+int SearchContext::row_status(const StaticRow& r) const {
+  __int128 minsum = 0, maxsum = 0;
+  int min_inf = 0, max_inf = 0;
+  for (const auto& [v, c] : r.terms) {
+    const std::int64_t lo = lo_[static_cast<std::size_t>(v)];
+    const std::int64_t hi = hi_[static_cast<std::size_t>(v)];
+    const std::int64_t toward_min = c > 0 ? lo : hi;
+    const std::int64_t toward_max = c > 0 ? hi : lo;
+    if (toward_min == kNegInf || toward_min == kPosInf) ++min_inf;
+    else minsum += static_cast<__int128>(c) * toward_min;
+    if (toward_max == kNegInf || toward_max == kPosInf) ++max_inf;
+    else maxsum += static_cast<__int128>(c) * toward_max;
+  }
+  if (min_inf == 0 && minsum > r.bound) return -1;
+  if (max_inf == 0 && maxsum <= r.bound) return +1;
+  return 0;
+}
+
+// Phase for deciding a variable: for atoms, follow what the bounds
+// already entail so the first branch is not an immediate theory conflict;
+// otherwise the saved polarity (phase saving — seeded from the previous
+// check's final assignment, updated on every unassign), defaulting to
+// false — or true on portfolio workers diversified by inverted phase.
+bool SearchContext::decide_phase_negated(int v) const {
+  const int ai = sh_.atom_of_var[static_cast<std::size_t>(v)];
+  if (ai >= 0) {
+    const Atom& a = sh_.atoms[static_cast<std::size_t>(ai)];
+    if (!a.is_eq) {
+      const int s = row_status(a.when_true[0]);
+      if (s != 0) return s < 0;
+    } else {
+      const int s0 = row_status(a.when_true[0]);
+      const int s1 = row_status(a.when_true[1]);
+      if (s0 < 0 || s1 < 0) return true;
+      if (s0 > 0 && s1 > 0) return false;
+    }
+  }
+  if (polarity_[static_cast<std::size_t>(v)] != kUndef) {
+    return polarity_[static_cast<std::size_t>(v)] == kFalse;
+  }
+  return !cfg_.invert_default_phase;
+}
+
+// ---------------------------------------------- activity heap (VSIDS)
+
+void SearchContext::heap_swap(std::size_t i, std::size_t j) {
+  std::swap(heap_[i], heap_[j]);
+  heap_pos_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+  heap_pos_[static_cast<std::size_t>(heap_[j])] = static_cast<int>(j);
+}
+
+void SearchContext::heap_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t p = (i - 1) / 2;
+    if (activity_[static_cast<std::size_t>(heap_[i])] <=
+        activity_[static_cast<std::size_t>(heap_[p])]) {
+      break;
+    }
+    heap_swap(i, p);
+    i = p;
+  }
+}
+
+void SearchContext::heap_down(std::size_t i) {
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = l + 1;
+    std::size_t best = i;
+    if (l < heap_.size() &&
+        activity_[static_cast<std::size_t>(heap_[l])] >
+            activity_[static_cast<std::size_t>(heap_[best])]) {
+      best = l;
+    }
+    if (r < heap_.size() &&
+        activity_[static_cast<std::size_t>(heap_[r])] >
+            activity_[static_cast<std::size_t>(heap_[best])]) {
+      best = r;
+    }
+    if (best == i) break;
+    heap_swap(i, best);
+    i = best;
+  }
+}
+
+void SearchContext::heap_insert(int v) {
+  if (heap_pos_[static_cast<std::size_t>(v)] >= 0) return;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heap_up(heap_.size() - 1);
+}
+
+int SearchContext::heap_pop() {
+  const int v = heap_[0];
+  heap_pos_[static_cast<std::size_t>(v)] = -1;
+  if (heap_.size() > 1) {
+    heap_[0] = heap_.back();
+    heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
+  }
+  heap_.pop_back();
+  if (!heap_.empty()) heap_down(0);
+  return v;
+}
+
+void SearchContext::bump_var(int v) {
+  activity_[static_cast<std::size_t>(v)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(v)] > kVarActRescale) {
+    for (double& a : activity_) a *= 1.0 / kVarActRescale;
+    var_inc_ *= 1.0 / kVarActRescale;
+  }
+  if (heap_pos_[static_cast<std::size_t>(v)] >= 0) {
+    heap_up(static_cast<std::size_t>(heap_pos_[static_cast<std::size_t>(v)]));
+  }
+}
+
+void SearchContext::bump_clause(int ci) {
+  Clause& c = cls_[static_cast<std::size_t>(ci)];
+  if (!c.learned) return;
+  c.act += cla_inc_;
+  if (c.act > kClaActRescale) {
+    for (Clause& cl : cls_) {
+      if (cl.learned) cl.act *= 1.0 / kClaActRescale;
+    }
+    cla_inc_ *= 1.0 / kClaActRescale;
+  }
+}
+
+int SearchContext::pick_branch() {
+  while (!heap_.empty()) {
+    const int v = heap_pop();
+    if (assign_[static_cast<std::size_t>(v)] == kUndef) return v;
+  }
+  return -1;
+}
+
+// ------------------------------------------------------ levels, backjump
+
+void SearchContext::push_level() {
+  ++undo_era_;
+  levels_.push_back(LevelMark{trail_.size(), active_rows_.size(),
+                              active_diseqs_.size(), undo_.size(),
+                              expl_pool_.size(), blog_.size()});
+}
+
+void SearchContext::backjump(int target) {
+  if (current_level() <= target) return;
+  const LevelMark mark = levels_[static_cast<std::size_t>(target)];
+  for (std::size_t i = trail_.size(); i > mark.trail; --i) {
+    const int v = var_of(trail_[i - 1]);
+    polarity_[static_cast<std::size_t>(v)] =
+        assign_[static_cast<std::size_t>(v)];
+    assign_[static_cast<std::size_t>(v)] = kUndef;
+    reason_[static_cast<std::size_t>(v)] = kReasonNone;
+    heap_insert(v);
+  }
+  trail_.resize(mark.trail);
+  qhead_ = mark.trail;
+  theory_head_ = mark.trail;
+  deactivate_rows_to(mark.rows);
+  active_diseqs_.resize(mark.diseqs);
+  undo_to(mark.undo);
+  rewind_blog(mark.blog);
+  expl_pool_.resize(mark.expl);
+  row_work_.clear();
+  clear_dirty();  // loosened bounds cannot newly entail anything
+  levels_.resize(static_cast<std::size_t>(target));
+  prefix_placed_ = std::min(prefix_placed_, target);
+  prefix_levels_ = std::min(prefix_levels_, target);
+}
+
+// -------------------------------------------------- learning (first UIP)
+
+void SearchContext::collect_theory_lits(bool with_diseqs, std::size_t limit,
+                                        std::vector<Lit>& out) const {
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Lit l = trail_[i];
+    const int v = var_of(l);
+    if (level_[static_cast<std::size_t>(v)] == 0) continue;  // permanent
+    const int ai = sh_.atom_of_var[static_cast<std::size_t>(v)];
+    if (ai < 0) continue;
+    const Atom& a = sh_.atoms[static_cast<std::size_t>(ai)];
+    const bool tv = !is_neg(l);
+    const bool activates = !(tv ? a.when_true : a.when_false).empty();
+    const bool diseq = a.is_eq && !tv;
+    if (activates || (with_diseqs && diseq)) out.push_back(neg(l));
+  }
+}
+
+// First-UIP conflict analysis; see the pre-split solver for the full
+// commentary. Produces learnt_ (learnt_[0] the asserting literal,
+// learnt_[1] — when present — the backjump-level watch) and returns the
+// backjump level; lbd_out gets the clause's LBD.
+int SearchContext::analyze(const std::vector<Lit>& conflict, int conflict_ci,
+                           int& lbd_out) {
+  const int clevel = current_level();
+  learnt_.assign(1, 0);  // slot 0: asserting literal, filled at the end
+  int counter = 0;
+  auto consider = [&](Lit q) {
+    const int v = var_of(q);
+    if (seen_[static_cast<std::size_t>(v)] ||
+        level_[static_cast<std::size_t>(v)] == 0) {
+      return;
+    }
+    seen_[static_cast<std::size_t>(v)] = 1;
+    to_clear_.push_back(v);
+    bump_var(v);
+    if (level_[static_cast<std::size_t>(v)] >= clevel) ++counter;
+    else learnt_.push_back(q);
+  };
+  for (Lit q : conflict) consider(q);
+  if (conflict_ci >= 0) bump_clause(conflict_ci);
+
+  Lit p = 0;
+  std::size_t idx = trail_.size();
+  for (;;) {
+    while (!seen_[static_cast<std::size_t>(var_of(trail_[idx - 1]))]) --idx;
+    p = trail_[--idx];
+    const int v = var_of(p);
+    seen_[static_cast<std::size_t>(v)] = 0;
+    if (--counter == 0) break;
+    const int r = reason_[static_cast<std::size_t>(v)];
+    if (r == kReasonTheory) {
+      // The eagerly-stored provenance explanation captured at enqueue
+      // time: the negated atoms whose rows entailed this literal.
+      const std::uint32_t off = expl_off_[static_cast<std::size_t>(v)];
+      const std::uint32_t len = expl_len_[static_cast<std::size_t>(v)];
+      for (std::uint32_t i = 0; i < len; ++i) consider(expl_pool_[off + i]);
+    } else {
+      // r >= 0: counter > 0 guarantees a resolvable (propagated) literal.
+      bump_clause(r);
+      for (Lit q : cls_[static_cast<std::size_t>(r)].lits) {
+        if (q != p) consider(q);
+      }
+    }
+  }
+  learnt_[0] = neg(p);
+
+  // Clause minimization: a literal is redundant when its reason clause
+  // is subsumed by the rest of the learnt clause (every other reason
+  // literal is already in the clause or permanent). Theory-propagated
+  // and decision literals are conservatively kept.
+  std::size_t j = 1;
+  for (std::size_t i = 1; i < learnt_.size(); ++i) {
+    const Lit q = learnt_[i];
+    const int v = var_of(q);
+    const int r = reason_[static_cast<std::size_t>(v)];
+    bool redundant = r >= 0;
+    if (redundant) {
+      for (Lit u : cls_[static_cast<std::size_t>(r)].lits) {
+        const int uv = var_of(u);
+        if (uv == v) continue;
+        if (!seen_[static_cast<std::size_t>(uv)] &&
+            level_[static_cast<std::size_t>(uv)] > 0) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) learnt_[j++] = q;
+  }
+  learnt_.resize(j);
+
+  for (const int v : to_clear_) seen_[static_cast<std::size_t>(v)] = 0;
+  to_clear_.clear();
+
+  // Backjump level: the highest level below the asserting literal's;
+  // that literal moves to slot 1 as the second watch.
+  int bt = 0;
+  if (learnt_.size() > 1) {
+    std::size_t at = 1;
+    for (std::size_t i = 2; i < learnt_.size(); ++i) {
+      if (level_[static_cast<std::size_t>(var_of(learnt_[i]))] >
+          level_[static_cast<std::size_t>(var_of(learnt_[at]))]) {
+        at = i;
+      }
+    }
+    std::swap(learnt_[1], learnt_[at]);
+    bt = level_[static_cast<std::size_t>(var_of(learnt_[1]))];
+  }
+
+  // LBD: number of distinct decision levels in the clause.
+  lbd_levels_.clear();
+  for (const Lit q : learnt_) {
+    lbd_levels_.push_back(level_[static_cast<std::size_t>(var_of(q))]);
+  }
+  std::sort(lbd_levels_.begin(), lbd_levels_.end());
+  lbd_out =
+      static_cast<int>(std::unique(lbd_levels_.begin(), lbd_levels_.end()) -
+                       lbd_levels_.begin());
+  return bt;
+}
+
+// Conflict analysis over the assumption prefix (MiniSat analyzeFinal):
+// prefix literal `p` (entry `p_at` of assume_q_) came up false during
+// placement. Walks the implication trail backwards from ¬p, collects
+// every prefix literal the derivation rests on, and maps the involved
+// literals back to this check's assumption expressions as the unsat core
+// (scoped-root and cube prefix entries carry no assumption index and are
+// not reported).
+void SearchContext::analyze_final(Lit p, int p_at) {
+  core_.clear();
+  std::vector<char> used(assume_src_.size(), 0);
+  auto add_source = [&](Lit q, int upto) {
+    // Several prefix entries can share one literal (duplicate or
+    // entailed assumptions); every matching assumption up to the failing
+    // entry was genuinely placed, so each is part of the refutation.
+    for (int i = 0; i <= upto && i < static_cast<int>(assume_q_.size());
+         ++i) {
+      if (assume_q_[static_cast<std::size_t>(i)] != q ||
+          used[static_cast<std::size_t>(i)] != 0) {
+        continue;
+      }
+      used[static_cast<std::size_t>(i)] = 1;
+      const int src = assume_src_[static_cast<std::size_t>(i)];
+      if (src >= 0 && job_->assumptions != nullptr) {
+        core_.push_back(job_->assumptions->at(static_cast<std::size_t>(src)));
+      }
+    }
+  };
+  add_source(p, p_at);  // the failing assumption itself
+  if (level_[static_cast<std::size_t>(var_of(p))] > 0) {
+    seen_[static_cast<std::size_t>(var_of(p))] = 1;
+    for (std::size_t i = trail_.size(); i-- > 0;) {
+      const int v = var_of(trail_[i]);
+      if (!seen_[static_cast<std::size_t>(v)]) continue;
+      seen_[static_cast<std::size_t>(v)] = 0;
+      const int r = reason_[static_cast<std::size_t>(v)];
+      if (r == kReasonNone) {
+        // Level > 0 with no reason: during prefix placement every such
+        // literal is a placed prefix entry (heuristic decisions cannot
+        // precede an unplaced prefix literal).
+        add_source(trail_[i], p_at);
+      } else if (r == kReasonTheory) {
+        const std::uint32_t off = expl_off_[static_cast<std::size_t>(v)];
+        const std::uint32_t len = expl_len_[static_cast<std::size_t>(v)];
+        for (std::uint32_t k = 0; k < len; ++k) {
+          const int u = var_of(expl_pool_[off + k]);
+          if (level_[static_cast<std::size_t>(u)] > 0) {
+            seen_[static_cast<std::size_t>(u)] = 1;
+          }
+        }
+      } else {
+        for (const Lit q : cls_[static_cast<std::size_t>(r)].lits) {
+          const int u = var_of(q);
+          if (u != v && level_[static_cast<std::size_t>(u)] > 0) {
+            seen_[static_cast<std::size_t>(u)] = 1;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Learns from a conflict (clause index `ci`, or a theory conflict when
+// ci < 0): analyzes, backjumps, attaches the learnt clause and asserts
+// its first literal. Returns false when the conflict is at level 0 — the
+// check is decided. Clauses learned after this check saw an
+// Unknown-degraded leaf are tainted: any of them may transitively depend
+// on an unproven refutation, so they all die at the next check boundary
+// and are never exported to other workers.
+bool SearchContext::resolve_conflict(const std::vector<Lit>& conflict,
+                                     int ci) {
+  ++stats_.conflicts;
+  int clevel = 0;
+  for (const Lit q : conflict) {
+    clevel = std::max(clevel, level_[static_cast<std::size_t>(var_of(q))]);
+  }
+  if (clevel == 0) return false;
+  // Leaf/theory conflicts may not involve the innermost decisions (e.g.
+  // a pure gate-variable decision after the last atom): analyze at the
+  // highest level that actually participates.
+  backjump(clevel);
+  int lbd = 0;
+  const int bt = analyze(conflict, ci, lbd);
+  backjump(bt);
+  const bool tainted = saw_unknown_;
+  ++stats_.learned_clauses;
+  if (learnt_.size() == 1) {
+    // Unit consequence: permanent — re-asserted at level 0 of every
+    // later check — unless tainted, in which case it lives only on this
+    // check's trail and dies with it.
+    if (!tainted) learned_units_.push_back(learnt_[0]);
+    const bool ok = enqueue(learnt_[0], kReasonNone);
+    (void)ok;  // unassigned: its level was above the backjump target
+  } else {
+    Clause cl;
+    cl.lits = learnt_;
+    cl.act = cla_inc_;
+    cl.lbd = lbd;
+    cl.learned = true;
+    cl.tainted = tainted;
+    const int lci = static_cast<int>(cls_.size());
+    cls_.push_back(std::move(cl));
+    ++num_learned_live_;
+    num_tainted_ += tainted ? 1 : 0;
+    watches_[static_cast<std::size_t>(cls_.back().lits[0])].push_back(lci);
+    watches_[static_cast<std::size_t>(cls_.back().lits[1])].push_back(lci);
+    const bool ok = enqueue(learnt_[0], lci);
+    (void)ok;
+  }
+  if (!tainted) export_learnt(lbd);
+  var_inc_ *= kVarActInc;
+  cla_inc_ *= kClaActInc;
+  ++conflicts_since_restart_;
+  return true;
+}
+
+// Publishes the just-learnt clause when it is worth another worker's
+// attention. Sound because a non-tainted learnt clause is entailed by the
+// permanent material alone (the assumption-level invariant).
+void SearchContext::export_learnt(int lbd) {
+  if (cfg_.exchange == nullptr) return;
+  if (learnt_.size() > 2 && (lbd > kExportLbdMax ||
+                             learnt_.size() > kExportLenMax)) {
+    return;
+  }
+  if (cfg_.exchange->publish(learnt_, cfg_.id)) ++stats_.clauses_exported;
+}
+
+// Adopts clauses other workers published since the last import. Called at
+// restart points only: the backjump to the prefix makes attachment cases
+// simple. Vetting keeps the watch invariant intact — the two watches are
+// non-false when possible, otherwise the highest-level false literal
+// backs up an undef first watch (last to unassign); clauses false under
+// the current assignment are skipped outright (a lost import is only lost
+// learning, never unsoundness). Units are deferred to learned_units_ and
+// take effect at the next solve on this context.
+void SearchContext::import_clauses() {
+  if (cfg_.exchange == nullptr) return;
+  import_scratch_.clear();
+  cfg_.exchange->drain(import_cursor_, import_scratch_,
+                       cfg_.id % ClauseExchange::kShards);
+  for (ClauseExchange::Lits& lits : import_scratch_) {
+    bool valid = !lits.empty();
+    for (const Lit l : lits) {
+      const int v = var_of(l);
+      if (v < 0 || v >= sh_.num_bvars) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) continue;
+    if (lits.size() == 1) {
+      if (std::find(learned_units_.begin(), learned_units_.end(), lits[0]) ==
+          learned_units_.end()) {
+        learned_units_.push_back(lits[0]);
+        ++stats_.clauses_imported;
+      }
+      continue;
+    }
+    // Non-false literals first; ties among the false tail broken toward
+    // the highest decision level in slot 1.
+    std::size_t nf = 0;
+    for (std::size_t i = 0; i < lits.size(); ++i) {
+      if (value_lit(lits[i]) != kFalse) std::swap(lits[nf++], lits[i]);
+    }
+    if (nf == 0) continue;  // conflicting right now: skip, stay simple
+    if (nf == 1) {
+      std::size_t at = 1;
+      for (std::size_t i = 2; i < lits.size(); ++i) {
+        if (level_[static_cast<std::size_t>(var_of(lits[i]))] >
+            level_[static_cast<std::size_t>(var_of(lits[at]))]) {
+          at = i;
+        }
+      }
+      std::swap(lits[1], lits[at]);
+    }
+    Clause cl;
+    cl.lits = std::move(lits);
+    cl.act = cla_inc_;
+    cl.lbd = static_cast<std::int32_t>(cl.lits.size());
+    cl.learned = true;
+    cl.prior = true;  // cross-worker material: count reuse as prior hits
+    const int ci = static_cast<int>(cls_.size());
+    cls_.push_back(std::move(cl));
+    ++num_learned_live_;
+    watches_[static_cast<std::size_t>(cls_.back().lits[0])].push_back(ci);
+    watches_[static_cast<std::size_t>(cls_.back().lits[1])].push_back(ci);
+    ++stats_.clauses_imported;
+  }
+}
+
+// Luby-scheduled restart (back to the assumption prefix — re-deciding
+// assumptions would only redo identical propagation) and LBD/activity
+// clause-database reduction. Restarts are also the clause-import points:
+// the solver is at its quietest and the attachment rules stay simple.
+void SearchContext::maybe_restart_or_reduce() {
+  if (conflicts_since_restart_ >= restart_limit_) {
+    ++stats_.restarts;
+    conflicts_since_restart_ = 0;
+    restart_limit_ = luby(++restart_seq_) * cfg_.restart_base;
+    backjump(std::min(prefix_levels_, current_level()));
+    import_clauses();
+  }
+  if (num_learned_live_ >= kReduceBase + kReduceInc * num_reductions_) {
+    reduce_db();
+  }
+}
+
+// Deletes the worst half of the deletable learned clauses (kept: small
+// LBD, binary, and locked clauses — those currently acting as a reason).
+// Deletion is a tombstone; watch entries drop lazily and the arena is
+// compacted at the next check boundary.
+void SearchContext::reduce_db() {
+  ++num_reductions_;
+  arena_has_tombstones_ = true;
+  reduce_order_.clear();
+  for (std::size_t ci = 0; ci < cls_.size(); ++ci) {
+    const Clause& c = cls_[ci];
+    if (!c.learned || c.deleted || c.lbd <= 2 || c.lits.size() <= 2) {
+      continue;
+    }
+    const int v = var_of(c.lits[0]);
+    const bool locked =
+        assign_[static_cast<std::size_t>(v)] != kUndef &&
+        reason_[static_cast<std::size_t>(v)] == static_cast<int>(ci);
+    if (!locked) reduce_order_.push_back(static_cast<int>(ci));
+  }
+  // Worst first: highest LBD, then lowest activity; delete half.
+  std::sort(reduce_order_.begin(), reduce_order_.end(), [this](int a, int b) {
+    const Clause& ca = cls_[static_cast<std::size_t>(a)];
+    const Clause& cb = cls_[static_cast<std::size_t>(b)];
+    if (ca.lbd != cb.lbd) return ca.lbd > cb.lbd;
+    if (ca.act != cb.act) return ca.act < cb.act;
+    return a < b;  // deterministic tie-break
+  });
+  const std::size_t victims = reduce_order_.size() / 2;
+  for (std::size_t i = 0; i < victims; ++i) {
+    Clause& c = cls_[static_cast<std::size_t>(reduce_order_[i])];
+    c.deleted = true;
+    c.lits.clear();
+    c.lits.shrink_to_fit();
+    --num_learned_live_;
+    ++stats_.deleted_clauses;
+  }
+}
+
+// ------------------------------------------------------------ leaf search
+
+void SearchContext::capture_model() {
+  Model m;
+  for (const auto& [v, name] : sh_.named_bools) {
+    if (assign_[static_cast<std::size_t>(v)] != kUndef) {
+      m.set_bool(name, assign_[static_cast<std::size_t>(v)] == kTrue);
+    }
+  }
+  for (std::size_t v = 0; v < sh_.int_names.size(); ++v) {
+    if (lo_[v] != kNegInf && lo_[v] == hi_[v]) {
+      m.set_int(sh_.int_names[v], lo_[v]);
+    }
+  }
+  model_ = std::move(m);
+}
+
+bool SearchContext::pins_contain(const std::vector<int>& pins, int v) {
+  return std::find(pins.begin(), pins.end(), v) != pins.end();
+}
+
+// Queues the justification of the conflict propagate_rows just reported,
+// evaluated at the current end of the provenance log.
+void SearchContext::seed_row_conflict() {
+  const int now = static_cast<int>(blog_.size());
+  if (conflict_row_ >= 0) {
+    expl_seed_row(conflict_row_, now, nullptr);
+  } else {
+    for (const bool hi : {false, true}) {
+      const int e = entry_before(bnode(conflict_var_, hi), now);
+      if (e >= 0) expl_push(e);
+    }
+  }
+}
+
+// Branch-and-bound completion of the integer domains at a full boolean
+// assignment, with conflict-directed backjumping; see the pre-split
+// solver for the full commentary. Sat captures the model before
+// returning; `conflict_pins` accumulates the pin set on Unsat.
+SatResult SearchContext::int_branch(const std::vector<int>& branch_vars,
+                                    std::vector<int>& conflict_pins) {
+  bump_ops();
+  if (int_budget_ == 0) return SatResult::Unknown;
+  --int_budget_;
+  int best = -1;
+  std::int64_t best_width = kPosInf;
+  for (int v : branch_vars) {
+    const std::int64_t lo = lo_[static_cast<std::size_t>(v)];
+    const std::int64_t hi = hi_[static_cast<std::size_t>(v)];
+    if (lo == hi) continue;
+    const std::int64_t width =
+        (lo == kNegInf || hi == kPosInf) ? kPosInf - 1 : hi - lo;
+    if (width < best_width) {
+      best_width = width;
+      best = v;
+    }
+  }
+  if (best < 0) {  // every constrained variable is fixed
+    for (int ai : active_diseqs_) {
+      const Atom& a = sh_.atoms[static_cast<std::size_t>(ai)];
+      __int128 sum = 0;
+      for (const auto& [v, c] : a.terms) {
+        sum += static_cast<__int128>(c) * lo_[static_cast<std::size_t>(v)];
+      }
+      if (sum == a.bound) {  // disequality violated by the fixed values
+        expl_begin();
+        const int now = static_cast<int>(blog_.size());
+        for (const auto& [v, c] : a.terms) {
+          (void)c;
+          for (const bool hi : {false, true}) {
+            const int e = entry_before(bnode(v, hi), now);
+            if (e >= 0) expl_push(e);
+          }
+        }
+        expl_run(nullptr, &conflict_pins);
+        return SatResult::Unsat;
+      }
+    }
+    capture_model();
+    return SatResult::Sat;
+  }
+
+  const std::int64_t lo = lo_[static_cast<std::size_t>(best)];
+  const std::int64_t hi = hi_[static_cast<std::size_t>(best)];
+  std::vector<std::int64_t> values;
+  bool artificial = false;
+  if (lo != kNegInf && hi != kPosInf && hi - lo <= kEnumWindow) {
+    // Boundary-first: witnesses pin most variables at a domain endpoint
+    // (empty queues, saturated blockers), so probe lo, hi, then walk the
+    // interior outward from lo. Equality propagation usually fixes the
+    // rest after the first few assignments.
+    values.push_back(lo);
+    if (hi != lo) values.push_back(hi);
+    for (std::int64_t x = lo + 1; x < hi; ++x) {
+      bump_ops();
+      values.push_back(x);
+    }
+  } else if (lo != kNegInf) {
+    artificial = true;
+    for (std::int64_t x = lo; x < lo + kUnboundedProbes; ++x) {
+      values.push_back(x);
+    }
+  } else if (hi != kPosInf) {
+    artificial = true;
+    for (std::int64_t x = hi; x > hi - kUnboundedProbes; --x) {
+      values.push_back(x);
+    }
+  } else {
+    artificial = true;
+    values.push_back(0);
+    for (std::int64_t x = 1; x <= kUnboundedProbes / 2; ++x) {
+      values.push_back(x);
+      values.push_back(-x);
+    }
+  }
+
+  bool unknown = false;
+  std::vector<int> node_pins;   // union of per-value conflicts, sans best
+  std::vector<int> value_pins;  // per-value scratch
+  for (const std::int64_t val : values) {
+    bump_ops();
+    const std::size_t mark = undo_.size();
+    const std::size_t bmark = blog_.size();
+    ++undo_era_;
+    set_bound(best, false, val, pin_src(best));
+    set_bound(best, true, val, pin_src(best));
+    pin_trail_.push_back(theory::Pin{best, val});
+    row_work_.clear();
+    for (int rj : row_occ_[static_cast<std::size_t>(best)]) {
+      row_work_.push_back(rj);
+    }
+    value_pins.clear();
+    bool refuted = false;
+    if (propagate_rows()) {
+      if (!sconf_rows_.empty() || !sconf_pins_.empty()) {
+        // Simplex refutation: the Farkas certificate names the pins it
+        // used directly — exactly the conflict set the backjumping
+        // wants. The rows are boolean-level context covered by the
+        // blocking clause learned at the leaf.
+        for (const int pi : sconf_pins_) {
+          const int pv = pin_trail_[static_cast<std::size_t>(pi)].var;
+          if (!pins_contain(value_pins, pv)) value_pins.push_back(pv);
+        }
+        sconf_rows_.clear();
+        sconf_pins_.clear();
+      } else {
+        expl_begin();
+        seed_row_conflict();
+        expl_run(nullptr, &value_pins);
+      }
+      refuted = true;
+    } else {
+      const SatResult r = int_branch(branch_vars, value_pins);
+      if (r == SatResult::Sat) {
+        undo_to(mark);
+        rewind_blog(bmark);
+        pin_trail_.pop_back();
+        return SatResult::Sat;
+      }
+      if (r == SatResult::Unknown) unknown = true;
+      else refuted = true;
+    }
+    undo_to(mark);
+    rewind_blog(bmark);
+    pin_trail_.pop_back();
+    if (refuted && !pins_contain(value_pins, best)) {
+      // The refutation never used best's pin: it holds for every value
+      // of best (even ones probed earlier with an Unknown verdict) —
+      // the whole node is refuted, skip the other values.
+      for (int p : value_pins) {
+        if (!pins_contain(conflict_pins, p)) conflict_pins.push_back(p);
+      }
+      return SatResult::Unsat;
+    }
+    for (int p : value_pins) {
+      if (p != best && !pins_contain(node_pins, p)) node_pins.push_back(p);
+    }
+  }
+  if (artificial) unknown = true;
+  if (unknown) return SatResult::Unknown;
+  for (int p : node_pins) {
+    if (!pins_contain(conflict_pins, p)) conflict_pins.push_back(p);
+  }
+  // The enumerated domain itself rests on best's entry bounds, whose
+  // provenance may reach ancestor pins through rows — collect them
+  // transitively (the loop's rewinds restored the entry state).
+  expl_begin();
+  const int now = static_cast<int>(blog_.size());
+  for (const bool hi : {false, true}) {
+    const int e = entry_before(bnode(best, hi), now);
+    if (e >= 0) expl_push(e);
+  }
+  expl_run(nullptr, &conflict_pins);
+  return SatResult::Unsat;
+}
+
+// Final-check rescue for a leaf the branch-and-bound search degraded to
+// Unknown: the simplex decides the active rows exactly — rationally and,
+// via branch-on-rational-vertex cuts, over the integers. Unsat leaves the
+// Farkas rows in sconf_rows_ for the caller's blocking clause; Sat pins
+// the integer witness and captures the model; a blown branch budget (or
+// an active disequality the witness misses — the simplex never sees
+// disequalities) keeps the honest Unknown.
+SatResult SearchContext::simplex_rescue() {
+  const SimplexTheory::Result res =
+      stx_.check(active_rows_, /*pins=*/{}, /*integer_complete=*/true);
+  sync_theory_stats();
+  switch (res.verdict) {
+    case SimplexTheory::Verdict::Infeasible:
+      sconf_rows_ = res.conflict_rows;
+      sconf_pins_.clear();  // no pins were passed
+      return SatResult::Unsat;
+    case SimplexTheory::Verdict::IntegerModel: {
+      const std::size_t mark = undo_.size();
+      const std::size_t bmark = blog_.size();
+      ++undo_era_;
+      for (const theory::Pin& p : res.model) {
+        set_bound(p.var, false, p.value, pin_src(p.var));
+        set_bound(p.var, true, p.value, pin_src(p.var));
+      }
+      bool diseqs_ok = true;
+      for (const int ai : active_diseqs_) {
+        const Atom& a = sh_.atoms[static_cast<std::size_t>(ai)];
+        __int128 sum = 0;
+        bool fixed = true;
+        for (const auto& [v, c] : a.terms) {
+          const std::int64_t lo = lo_[static_cast<std::size_t>(v)];
+          if (lo == kNegInf || lo != hi_[static_cast<std::size_t>(v)]) {
+            fixed = false;  // variable outside the active rows: unknown
+            break;
+          }
+          sum += static_cast<__int128>(c) * lo;
+        }
+        if (!fixed || sum == a.bound) {
+          diseqs_ok = false;
+          break;
+        }
+      }
+      if (diseqs_ok) {
+        capture_model();
+        return SatResult::Sat;
+      }
+      undo_to(mark);
+      rewind_blog(bmark);
+      return SatResult::Unknown;
+    }
+    case SimplexTheory::Verdict::Feasible:
+      break;  // rationally feasible, integer-open: stay Unknown
+  }
+  return SatResult::Unknown;
+}
+
+SatResult SearchContext::int_complete() {
+  std::vector<int> branch_vars;
+  std::vector<char> seen(sh_.int_names.size(), 0);
+  auto mark_var = [&](int v) {
+    if (!seen[static_cast<std::size_t>(v)]) {
+      seen[static_cast<std::size_t>(v)] = 1;
+      branch_vars.push_back(v);
+    }
+  };
+  for (const StaticRow* r : active_rows_) {
+    for (const auto& [v, c] : r->terms) {
+      (void)c;
+      mark_var(v);
+    }
+  }
+  for (int ai : active_diseqs_) {
+    for (const auto& [v, c] : sh_.atoms[static_cast<std::size_t>(ai)].terms) {
+      (void)c;
+      mark_var(v);
+    }
+  }
+  const std::size_t mark = undo_.size();
+  const std::size_t bmark = blog_.size();
+  ++undo_era_;
+  int_budget_ = kIntNodeBudget;
+  std::vector<int> conflict_pins;  // top-level pins: none to report to
+  const SatResult r = int_branch(branch_vars, conflict_pins);
+  if (r != SatResult::Sat) {
+    undo_to(mark);
+    rewind_blog(bmark);
+  }
+  return r;
+}
+
+// ---------------------------------------------------------- check driving
+
+// Prepares the search state for a fresh check while keeping everything
+// that is expensive to rebuild: the clause database (problem *and*
+// learned clauses) and the bounds-undo machinery. Tainted clauses from a
+// previous check's Unknown-degraded leaves are purged here — they are the
+// only learned material that is not entailed — and the arena is compacted
+// over clauses tombstoned by reduce_db() before the watch lists are
+// rebuilt.
+void SearchContext::reset_search() {
+  // Unwind the previous check: restore every bound changed since scope 0
+  // (Sat leaves bounds pinned for model capture) and unassign the trail,
+  // saving its polarities as the next check's phase hints.
+  levels_.clear();
+  deactivate_rows_to(0);
+  undo_to(0);
+  rewind_blog(0);
+  polarity_.resize(static_cast<std::size_t>(sh_.num_bvars), kUndef);
+  for (Lit l : trail_) {
+    const auto v = static_cast<std::size_t>(var_of(l));
+    polarity_[v] = assign_[v];
+    assign_[v] = kUndef;
+  }
+  trail_.clear();
+  qhead_ = theory_head_ = 0;
+  active_diseqs_.clear();
+  row_work_.clear();
+  pin_trail_.clear();  // a Timeout can unwind past the leaf search's pops
+  sconf_rows_.clear();
+  sconf_pins_.clear();
+  clear_dirty();
+
+  // Compact the clause arena: drop tombstones and tainted clauses. Safe
+  // only here — the trail is empty, so no clause is locked as a reason
+  // and the watch invariant is vacuous.
+  if (num_tainted_ > 0 || arena_has_tombstones_) {
+    std::size_t w = 0;
+    for (std::size_t ci = 0; ci < cls_.size(); ++ci) {
+      Clause& c = cls_[ci];
+      if (c.deleted) continue;
+      if (c.tainted) {
+        --num_learned_live_;
+        ++stats_.deleted_clauses;
+        continue;
+      }
+      if (w != ci) cls_[w] = std::move(c);
+      ++w;
+    }
+    cls_.resize(w);
+    num_tainted_ = 0;
+    arena_has_tombstones_ = false;
+  }
+
+  // Grow per-variable structures for material translated since the last
+  // check, then rebuild the watch lists from scratch (cheap relative to
+  // a solver call, and it sweeps the lazily-dropped watch entries).
+  const auto nv = static_cast<std::size_t>(sh_.num_bvars);
+  assign_.resize(nv, kUndef);
+  reason_.resize(nv, kReasonNone);
+  level_.resize(nv, 0);
+  seen_.resize(nv, 0);
+  // Activities restart fresh each check, with a tiny edge for theory
+  // atoms: deciding atoms first lets bounds propagation fix the gate
+  // variables instead of the other way around (measured ~50x on the 4x4
+  // sizing probes vs. deciding in creation order). Stale activity from
+  // a previous check pointed at that check's conflicts, not this one's,
+  // so it is deliberately not carried over — phase saving and the
+  // learned clauses carry the cross-check memory instead. Portfolio
+  // workers may flip the bias to gate variables as diversification.
+  activity_.clear();
+  while (activity_.size() < nv) {
+    const auto v = activity_.size();
+    const bool hot = (sh_.atom_of_var[v] >= 0) != cfg_.reverse_atom_bias;
+    activity_.push_back(hot ? 1e-6 : 0.0);
+  }
+  var_inc_ = 1.0;
+  heap_pos_.assign(nv, -1);
+  heap_.clear();
+  for (int v = 0; v < sh_.num_bvars; ++v) heap_insert(v);
+  watches_.assign(2 * nv, {});
+  for (std::size_t ci = 0; ci < cls_.size(); ++ci) {
+    // Everything learned before this boundary counts as cross-check
+    // material from here on (learned_hits tracks its reuse).
+    cls_[ci].prior = cls_[ci].learned;
+    const auto& c = cls_[ci].lits;
+    watches_[static_cast<std::size_t>(c[0])].push_back(static_cast<int>(ci));
+    watches_[static_cast<std::size_t>(c[1])].push_back(static_cast<int>(ci));
+  }
+  const std::size_t n = sh_.int_names.size();
+  lo_.resize(n, kNegInf);
+  hi_.resize(n, kPosInf);
+  bhead_.resize(2 * n, -1);
+  lo_stamp_.resize(n, 0);
+  hi_stamp_.resize(n, 0);
+  row_occ_.resize(n);
+  dirty_stamp_.resize(n, 0);
+  scan_stamp_.resize(sh_.atoms.size(), 0);
+  expl_pool_.clear();
+  expl_off_.resize(nv, 0);
+  expl_len_.resize(nv, 0);
+  saw_unknown_ = false;
+  prefix_placed_ = prefix_levels_ = 0;
+  conflicts_since_restart_ = 0;
+  restart_seq_ = 0;
+  restart_limit_ = luby(restart_seq_) * cfg_.restart_base;
+}
+
+Outcome SearchContext::finish_unsat() const {
+  return saw_unknown_ ? Outcome::Unknown : Outcome::Unsat;
+}
+
+// Top-activity variables still open above the assumption prefix — the
+// cube-and-conquer splitter. Collected at the Budget exit of the primary
+// probe, where the EVSIDS activities reflect where the conflicts are.
+void SearchContext::collect_hot_vars(std::size_t k) {
+  hot_vars_.clear();
+  if (k == 0) return;
+  for (int v = 0; v < sh_.num_bvars; ++v) {
+    if (v == sh_.true_var) continue;
+    const auto sv = static_cast<std::size_t>(v);
+    if (assign_[sv] != kUndef && level_[sv] <= prefix_levels_) continue;
+    hot_vars_.push_back(v);
+  }
+  std::sort(hot_vars_.begin(), hot_vars_.end(), [this](int a, int b) {
+    const double aa = activity_[static_cast<std::size_t>(a)];
+    const double ab = activity_[static_cast<std::size_t>(b)];
+    if (aa != ab) return aa > ab;
+    return a < b;  // deterministic tie-break
+  });
+  if (hot_vars_.size() > k) hot_vars_.resize(k);
+}
+
+Outcome SearchContext::run_check() {
+  reset_search();
+
+  // Level 0 holds only *permanent* facts: definitional units, learned
+  // unit consequences, and the scope-0 roots, which no pop() can ever
+  // retract. Conflict analysis silently drops level-0 literals, so
+  // everything placed here must stay true for the session's lifetime.
+  for (Lit l : sh_.def_units) {
+    if (!enqueue(l, kReasonNone)) return finish_unsat();
+  }
+  for (Lit l : learned_units_) {
+    if (!enqueue(l, kReasonNone)) return finish_unsat();
+  }
+  if (job_->permanent_roots != nullptr) {
+    for (Lit l : *job_->permanent_roots) {
+      if (!enqueue(l, kReasonNone)) return finish_unsat();
+    }
+  }
+  // Scoped roots, this check's assumptions, and the worker's cube form
+  // the assumption prefix: each gets its own decision level (MiniSat
+  // style), so learned clauses can only depend on them by mentioning
+  // their negations — the clauses stay valid after any pop(), after the
+  // assumptions are retracted, and on workers solving a different cube.
+  assume_q_.clear();
+  assume_src_.clear();
+  if (job_->scoped_roots != nullptr) {
+    for (Lit l : *job_->scoped_roots) {
+      assume_q_.push_back(l);
+      assume_src_.push_back(-1);  // scoped root, not a per-check assumption
+    }
+  }
+  if (job_->assumption_lits != nullptr) {
+    for (std::size_t i = 0; i < job_->assumption_lits->size(); ++i) {
+      assume_q_.push_back((*job_->assumption_lits)[i]);
+      assume_src_.push_back(static_cast<int>(i));
+    }
+  }
+  if (job_->cube != nullptr) {
+    for (Lit l : *job_->cube) {
+      assume_q_.push_back(l);
+      assume_src_.push_back(-1);  // cube literal: never part of a core
+    }
+  }
+
+  for (;;) {
+    const Conflict confl = propagate_all();
+    if (confl.kind != Conflict::kNone) {
+      theory_conflict_.clear();
+      if (confl.kind == Conflict::kTheory) {
+        if (!sconf_rows_.empty() || !sconf_pins_.empty()) {
+          // Farkas conflict: the refutation names its rows directly (no
+          // pins can exist during boolean search — the pin trail is
+          // empty outside the integer leaf search).
+          emit_simplex_conflict();
+        } else {
+          // Provenance expansion of the conflict: the negated atoms
+          // whose rows actually produced the contradiction.
+          expl_begin();
+          const int now = static_cast<int>(blog_.size());
+          if (conflict_row_ >= 0) {
+            expl_seed_row(conflict_row_, now, &theory_conflict_);
+          } else {
+            for (const bool hi : {false, true}) {
+              const int e = entry_before(bnode(conflict_var_, hi), now);
+              if (e >= 0) expl_push(e);
+            }
+          }
+          expl_run(&theory_conflict_, nullptr);
+        }
+      }
+      const std::vector<Lit>& lits =
+          confl.kind == Conflict::kClause
+              ? cls_[static_cast<std::size_t>(confl.ci)].lits
+              : theory_conflict_;
+      if (!resolve_conflict(
+              lits, confl.kind == Conflict::kClause ? confl.ci : -1)) {
+        return finish_unsat();
+      }
+      maybe_restart_or_reduce();
+      if (job_->conflict_budget != 0 &&
+          stats_.conflicts - check_conflict_base_ >= job_->conflict_budget) {
+        collect_hot_vars(job_->hot_k);
+        return Outcome::Budget;
+      }
+      continue;
+    }
+    if (prefix_placed_ < static_cast<int>(assume_q_.size())) {
+      const Lit p = assume_q_[static_cast<std::size_t>(prefix_placed_)];
+      if (value_lit(p) == kFalse) {
+        analyze_final(p, prefix_placed_);
+        return finish_unsat();
+      }
+      push_level();  // pseudo level when p already holds: keeps the
+                     // prefix 1:1 with levels across backjumps
+      ++prefix_placed_;
+      prefix_levels_ = current_level();
+      if (value_lit(p) == kUndef) {
+        const bool ok = enqueue(p, kReasonNone);
+        (void)ok;
+      }
+      continue;
+    }
+    const int v = pick_branch();
+    if (v >= 0) {
+      ++stats_.decisions;
+      push_level();
+      const bool ok = enqueue(mk_lit(v, decide_phase_negated(v)), kReasonNone);
+      (void)ok;  // unassigned by construction
+      continue;
+    }
+    // Full boolean assignment: complete (or refute) the integer domains;
+    // a degraded leaf gets the exact simplex as a second opinion.
+    SatResult leaf = int_complete();
+    if (leaf == SatResult::Unknown) leaf = simplex_rescue();
+    if (leaf == SatResult::Sat) return Outcome::Sat;
+    if (leaf == SatResult::Unknown) saw_unknown_ = true;
+    // Block this combination of theory atoms. For a refuted leaf the
+    // blocking clause is a theory lemma — the exact Farkas atoms when
+    // the simplex produced the refutation, the full asserted-atom set
+    // otherwise; for an Unknown leaf it is *not* entailed — it (and
+    // everything learned after it) is tainted and the final Unsat
+    // degrades to Unknown.
+    theory_conflict_.clear();
+    if (!sconf_rows_.empty() || !sconf_pins_.empty()) {
+      emit_simplex_conflict();
+    } else {
+      collect_theory_lits(true, trail_.size(), theory_conflict_);
+    }
+    if (!resolve_conflict(theory_conflict_, -1)) return finish_unsat();
+    maybe_restart_or_reduce();
+    if (job_->conflict_budget != 0 &&
+        stats_.conflicts - check_conflict_base_ >= job_->conflict_budget) {
+      collect_hot_vars(job_->hot_k);
+      return Outcome::Budget;
+    }
+  }
+}
+
+Outcome SearchContext::solve(const CheckJob& job) {
+  job_ = &job;
+  deadline_active_ = job.deadline_active;
+  deadline_ = job.deadline;
+  ops_ = 0;
+  check_conflict_base_ = stats_.conflicts;
+  units_base_ = learned_units_.size();
+  hot_vars_.clear();
+  core_.clear();
+  sync_problem();
+  Outcome out = Outcome::Unknown;
+  try {
+    out = run_check();
+  } catch (const Timeout&) {
+    out = Outcome::Unknown;
+  } catch (const Cancelled&) {
+    out = Outcome::Cancelled;
+  }
+  stats_.learned_kept = num_learned_live_;
+  // Transient per-check state is reset on *every* exit path: a stale
+  // deadline or job pointer leaking into the next solve would spuriously
+  // time out an untimed check (or dangle into freed assumptions).
+  deadline_active_ = false;
+  deadline_ = Clock::time_point{};
+  ops_ = 0;
+  job_ = nullptr;
+  return out;
+}
+
+// -------------------------------------------------- seeding & harvesting
+
+void SearchContext::seed_from(const SearchContext& primary) {
+  cls_.clear();
+  cls_.reserve(primary.cls_.size());
+  num_learned_live_ = 0;
+  num_tainted_ = 0;
+  arena_has_tombstones_ = false;
+  for (const Clause& c : primary.cls_) {
+    if (c.deleted || c.tainted) continue;
+    Clause cl;
+    cl.lits = c.lits;
+    cl.lbd = c.lbd;
+    cl.learned = c.learned;
+    cl.prior = c.learned;
+    if (cl.learned) ++num_learned_live_;
+    cls_.push_back(std::move(cl));
+  }
+  clauses_synced_ = primary.clauses_synced_;
+  learned_units_ = primary.learned_units_;
+  polarity_ = primary.polarity_;
+}
+
+void SearchContext::harvest_into(std::vector<std::vector<Lit>>& out,
+                                 std::size_t max) const {
+  std::size_t taken = 0;
+  for (const Clause& c : cls_) {
+    if (taken >= max) break;
+    if (!c.learned || c.prior || c.tainted || c.deleted) continue;
+    if (c.lits.size() > 2 &&
+        (c.lbd > kExportLbdMax || c.lits.size() > kExportLenMax)) {
+      continue;
+    }
+    out.push_back(c.lits);
+    ++taken;
+  }
+}
+
+void SearchContext::harvest_units_into(std::vector<Lit>& out) const {
+  for (std::size_t i = units_base_; i < learned_units_.size(); ++i) {
+    out.push_back(learned_units_[i]);
+  }
+}
+
+// Adoption happens between checks (trail empty, no watch lists attached):
+// the clauses are appended as prior learned material and the next
+// reset_search() builds their watches along with everything else.
+void SearchContext::adopt_clauses(
+    const std::vector<std::vector<Lit>>& clauses) {
+  for (const std::vector<Lit>& lits : clauses) {
+    if (lits.size() < 2) continue;
+    Clause cl;
+    cl.lits = lits;
+    cl.lbd = static_cast<std::int32_t>(lits.size());
+    cl.learned = true;
+    cl.prior = true;
+    cls_.push_back(std::move(cl));
+    ++num_learned_live_;
+  }
+}
+
+void SearchContext::adopt_units(const std::vector<Lit>& units) {
+  for (const Lit l : units) {
+    if (std::find(learned_units_.begin(), learned_units_.end(), l) ==
+        learned_units_.end()) {
+      learned_units_.push_back(l);
+    }
+  }
+}
+
+}  // namespace advocat::smt::native

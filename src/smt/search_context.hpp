@@ -1,0 +1,365 @@
+// Per-worker search engine of the native CDCL(T) solver.
+//
+// PR 6 split the former monolithic NativeSolver into two halves:
+//
+//  - SharedProblem: the immutable encoded problem — Tseitin variables,
+//    deduplicated linear atoms with their static theory rows, problem
+//    clauses and definitional units. Owned by NativeSolver, extended only
+//    by translation *between* checks, and read-only while any worker is
+//    searching, so workers share it without synchronization.
+//  - SearchContext: everything mutable — trail, watch lists, EVSIDS
+//    activity heap, phase array, the learned-clause arena, interval
+//    bounds with their undo/provenance machinery, the exact simplex
+//    theory state, and the ops/deadline polling — one instance per
+//    worker. The primary context lives for the solver session (learned
+//    clauses persist across checks exactly as before); cube/portfolio
+//    workers are seeded from it per parallel check and harvested back.
+//
+// A SearchContext solves one CheckJob at a time: permanent roots at level
+// 0, then the assumption prefix (scoped roots, per-check assumptions, and
+// an optional cube) each on its own decision level, then CDCL(T) search.
+// The single-threaded path is the primary context solving the job with no
+// cube, no exchange, and no stop flag — the same deterministic algorithm
+// as the pre-split solver.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "smt/clause_exchange.hpp"
+#include "smt/expr.hpp"
+#include "smt/simplex_theory.hpp"
+#include "smt/solver.hpp"
+#include "smt/theory.hpp"
+
+namespace advocat::smt::native {
+
+using Clock = std::chrono::steady_clock;
+
+// Literal encoding: variable v -> positive literal 2v, negated 2v+1.
+using Lit = std::int32_t;
+inline Lit mk_lit(int v, bool negated) {
+  return static_cast<Lit>(2 * v + (negated ? 1 : 0));
+}
+inline Lit neg(Lit l) { return l ^ 1; }
+inline int var_of(Lit l) { return l >> 1; }
+inline bool is_neg(Lit l) { return (l & 1) != 0; }
+
+enum Val : std::int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+// Σ terms ≤ bound over integer-variable indices — the shared theory-seam
+// row type (smt/theory.hpp).
+using StaticRow = theory::Row;
+
+struct Atom {
+  std::vector<std::pair<int, std::int64_t>> terms;
+  std::int64_t bound = 0;
+  bool is_eq = false;
+  std::vector<StaticRow> when_true;   // Le: {≤}; Eq: {≤, ≥}
+  std::vector<StaticRow> when_false;  // Le: {>}; Eq: empty (disequality)
+};
+
+// One clause in a worker's arena: problem clauses (copied from the shared
+// problem) and learned clauses share it so watch lists and reasons are
+// plain indices. Deletion is a tombstone until the next check boundary.
+struct Clause {
+  std::vector<Lit> lits;
+  double act = 0.0;
+  std::int32_t lbd = 0;
+  bool learned = false;
+  bool tainted = false;  // depends on an Unknown-degraded leaf: not entailed
+  bool deleted = false;
+  bool prior = false;  // learned in an earlier check (learned_hits bookkeeping)
+};
+
+struct Timeout {};    // deadline exceeded (thrown from bump_ops)
+struct Cancelled {};  // another worker decided the check (stop flag)
+
+/// The immutable encoded problem, shared read-only across workers.
+/// Append-only: translation (between checks, single-threaded) grows it;
+/// nothing is ever removed or reordered, so a worker syncs by remembering
+/// how many clauses it has already copied.
+struct SharedProblem {
+  int num_bvars = 0;
+  int true_var = -1;
+  std::vector<int> atom_of_var;             // bool var -> atom index or -1
+  std::vector<int> atom_var;                // atom index -> bool var
+  std::vector<std::vector<int>> atom_occ;   // int var -> atom indices
+  std::vector<Atom> atoms;
+  std::vector<std::string> int_names;
+  std::vector<std::pair<int, std::string>> named_bools;
+  std::vector<std::vector<Lit>> clauses;    // problem clauses (size >= 2)
+  std::vector<Lit> def_units;               // translation units
+};
+
+/// Per-worker knobs. The defaults are the deterministic single-threaded
+/// configuration; portfolio mode diversifies restart pacing, default
+/// phase, and the branching tie-break between atoms and gate variables.
+struct SearchConfig {
+  unsigned id = 0;                      ///< worker id (exchange sharding)
+  std::uint64_t restart_base = 192;     ///< Luby scale (kRestartBase)
+  bool invert_default_phase = false;    ///< unseen vars decide true first
+  bool reverse_atom_bias = false;       ///< seed gate vars (not atoms) hot
+  ClauseExchange* exchange = nullptr;   ///< learned-clause exchange, or null
+  const std::atomic<bool>* stop = nullptr;  ///< cooperative cancellation
+};
+
+/// Verdict of one SearchContext::solve call. Budget and Cancelled are
+/// orchestration-internal: Budget means the conflict budget expired (used
+/// by the cube probe), Cancelled that the stop flag fired.
+enum class Outcome { Sat, Unsat, Unknown, Budget, Cancelled };
+
+/// One check, as seen by a worker. All pointed-to data is owned by the
+/// orchestrating NativeSolver and outlives the solve call; everything but
+/// the job-specific cube is identical across the workers of one check.
+struct CheckJob {
+  const std::vector<Lit>* permanent_roots = nullptr;  ///< level-0 roots
+  const std::vector<Lit>* scoped_roots = nullptr;     ///< prefix, no core id
+  const std::vector<Lit>* assumption_lits = nullptr;  ///< prefix, core id = index
+  const std::vector<ExprId>* assumptions = nullptr;   ///< for core mapping
+  const std::vector<Lit>* cube = nullptr;             ///< prefix, no core id
+  bool deadline_active = false;
+  Clock::time_point deadline{};
+  std::uint64_t conflict_budget = 0;  ///< 0 = unlimited
+  std::size_t hot_k = 0;              ///< hot vars to report at Budget exit
+};
+
+class SearchContext {
+ public:
+  SearchContext(const SharedProblem& shared, SearchConfig config);
+
+  SearchContext(const SearchContext&) = delete;
+  SearchContext& operator=(const SearchContext&) = delete;
+
+  /// Solves one job. Transient per-check state (deadline, ops counter,
+  /// job pointers) is fully reset on every exit path — a timed-out check
+  /// cannot leak a stale deadline into the next solve on this context.
+  Outcome solve(const CheckJob& job);
+
+  /// Model captured by the last Sat solve on this context.
+  [[nodiscard]] const Model& model() const { return model_; }
+  /// Failed-assumption subset of the last Unsat solve (may be empty).
+  [[nodiscard]] const std::vector<ExprId>& core() const { return core_; }
+  /// Cumulative counters over this context's lifetime.
+  [[nodiscard]] const SolveStats& stats() const { return stats_; }
+  /// Learned clauses currently live in this context's arena.
+  [[nodiscard]] std::size_t learned_live() const { return num_learned_live_; }
+  /// Top-activity undecided variables collected at the last Budget exit.
+  [[nodiscard]] const std::vector<int>& hot_vars() const { return hot_vars_; }
+
+  /// Copies `primary`'s clause arena (problem + non-tainted learned
+  /// clauses, as prior material) and saved phases into this freshly
+  /// constructed worker, so cube/portfolio workers start from everything
+  /// the session has learned.
+  void seed_from(const SearchContext& primary);
+
+  /// Appends this context's exportable learned clauses (non-tainted,
+  /// short or low-LBD, at most `max`) to `out` — used to harvest worker
+  /// learning back into the primary context in deterministic worker order.
+  void harvest_into(std::vector<std::vector<Lit>>& out, std::size_t max) const;
+  /// Appends this context's learned unit literals to `out`.
+  void harvest_units_into(std::vector<Lit>& out) const;
+
+  /// Adopts harvested clauses/units as prior learned material (entailed by
+  /// the permanent problem, so sound on any context sharing the problem).
+  void adopt_clauses(const std::vector<std::vector<Lit>>& clauses);
+  void adopt_units(const std::vector<Lit>& units);
+
+ private:
+  // ------------------------------------------------------------- plumbing
+  void bump_ops();
+  [[nodiscard]] Val value_lit(Lit l) const;
+  [[nodiscard]] int current_level() const;
+  bool enqueue(Lit l, int reason);
+  void sync_problem();
+
+  // ------------------------------------------------------------ propagate
+  int propagate_bool();
+  void set_bound(int v, bool is_hi, std::int64_t val, int src);
+  void undo_to(std::size_t mark);
+  void rewind_blog(std::size_t mark);
+  void activate_row(const StaticRow* r, Lit cause);
+  void deactivate_rows_to(std::size_t mark);
+  bool scan_violated_row();
+  bool simplex_refute();
+  void sync_theory_stats();
+  void emit_simplex_conflict();
+  bool propagate_rows();
+  bool activate_theory();
+
+  // ------------------------------------------- provenance explanations
+  static int bnode(int v, bool is_hi) { return 2 * v + (is_hi ? 1 : 0); }
+  [[nodiscard]] int entry_before(int node, int before) const;
+  void expl_begin();
+  void emit_row_atom(int ri, std::vector<Lit>* atoms_out);
+  void collect_pin(int var, std::vector<int>* pins_out);
+  void expl_push(int e);
+  void expl_seed_row(int ri, int before, std::vector<Lit>* atoms_out);
+  void expl_run(std::vector<Lit>* atoms_out, std::vector<int>* pins_out);
+  bool propagate_entailed_atoms();
+  void clear_dirty();
+
+  struct Conflict {
+    enum Kind { kNone, kClause, kTheory } kind = kNone;
+    int ci = -1;  // kClause only
+  };
+  Conflict propagate_all();
+  [[nodiscard]] int row_status(const StaticRow& r) const;
+  [[nodiscard]] bool decide_phase_negated(int v) const;
+
+  // ------------------------------------------------- activity heap (VSIDS)
+  void heap_swap(std::size_t i, std::size_t j);
+  void heap_up(std::size_t i);
+  void heap_down(std::size_t i);
+  void heap_insert(int v);
+  int heap_pop();
+  void bump_var(int v);
+  void bump_clause(int ci);
+  int pick_branch();
+
+  // ----------------------------------------------------- levels, backjump
+  struct LevelMark {
+    std::size_t trail, rows, diseqs, undo, expl, blog;
+  };
+  void push_level();
+  void backjump(int target);
+
+  // ------------------------------------------------- learning (first UIP)
+  void collect_theory_lits(bool with_diseqs, std::size_t limit,
+                           std::vector<Lit>& out) const;
+  int analyze(const std::vector<Lit>& conflict, int conflict_ci, int& lbd_out);
+  void analyze_final(Lit p, int p_at);
+  bool resolve_conflict(const std::vector<Lit>& conflict, int ci);
+  void export_learnt(int lbd);
+  void import_clauses();
+  void maybe_restart_or_reduce();
+  void reduce_db();
+
+  // ---------------------------------------------------------- leaf search
+  void capture_model();
+  static bool pins_contain(const std::vector<int>& pins, int v);
+  void seed_row_conflict();
+  SatResult int_branch(const std::vector<int>& branch_vars,
+                       std::vector<int>& conflict_pins);
+  SatResult simplex_rescue();
+  SatResult int_complete();
+
+  // -------------------------------------------------------- check driving
+  void reset_search();
+  [[nodiscard]] Outcome finish_unsat() const;
+  void collect_hot_vars(std::size_t k);
+  Outcome run_check();
+
+  const SharedProblem& sh_;
+  SearchConfig cfg_;
+
+  // Clause database (persists across solve() calls on this context).
+  std::vector<Clause> cls_;
+  std::size_t clauses_synced_ = 0;  // prefix of sh_.clauses already copied
+  std::vector<Lit> learned_units_;  // permanent learned unit consequences
+  std::size_t num_learned_live_ = 0;
+  std::size_t num_tainted_ = 0;
+  bool arena_has_tombstones_ = false;
+  std::size_t num_reductions_ = 0;
+
+  // Search state (reset — but not reallocated — by reset_search()).
+  std::vector<Val> assign_;
+  std::vector<int> reason_;             // var -> clause / kReason*
+  std::vector<int> level_;              // var -> decision level
+  std::vector<std::vector<int>> watches_;  // literal -> watching clauses
+  std::vector<Lit> trail_;
+  std::size_t qhead_ = 0;
+  std::size_t theory_head_ = 0;
+  std::vector<LevelMark> levels_;
+  std::vector<Lit> assume_q_;    // scoped roots + assumptions + cube
+  std::vector<int> assume_src_;  // per entry: assumption index or -1
+  int prefix_placed_ = 0;        // prefix literals placed (1:1 with levels)
+  int prefix_levels_ = 0;        // levels occupied by the placed prefix
+  std::vector<std::int64_t> lo_, hi_;
+  std::vector<std::uint64_t> lo_stamp_, hi_stamp_;
+  std::uint64_t undo_era_ = 1;
+  struct UndoEntry {
+    int var;
+    bool is_hi;
+    std::int64_t old_bound;
+  };
+  std::vector<UndoEntry> undo_;
+  std::vector<const StaticRow*> active_rows_;
+  std::vector<Lit> active_row_lit_;  // activating atom literal, per row
+  std::vector<std::vector<int>> row_occ_;  // int var -> active row indices
+  std::vector<int> active_diseqs_;         // atom indices asserted ≠
+  std::vector<int> row_work_;
+  std::vector<Val> polarity_;    // saved phases
+  std::vector<int> dirty_vars_;  // int vars with bound changes to rescan
+  std::vector<std::uint64_t> dirty_stamp_;
+  std::uint64_t dirty_gen_ = 1;
+  std::vector<std::uint64_t> scan_stamp_;  // atom index -> last scan
+  std::uint64_t scan_gen_ = 0;
+  bool saw_unknown_ = false;
+  std::uint64_t int_budget_ = 0;
+
+  // Exact theory layer (tableau, basis and slack dedup persist with the
+  // context — the incremental half of the simplex).
+  SimplexTheory stx_;
+  std::vector<theory::Pin> pin_trail_;  // branch-and-bound pins in effect
+  std::vector<int> sconf_rows_;  // pending simplex conflict: row indices
+  std::vector<int> sconf_pins_;  // pending simplex conflict: pin indices
+
+  // CDCL working state.
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+  std::vector<int> heap_;      // activity max-heap of variables
+  std::vector<int> heap_pos_;  // var -> heap index or -1
+  std::vector<char> seen_;     // analysis scratch
+  std::vector<int> to_clear_;
+  std::vector<Lit> learnt_;
+  std::vector<Lit> theory_conflict_;
+  std::vector<int> lbd_levels_;
+  std::vector<int> reduce_order_;
+  // Provenance-explanation machinery (see the .cpp section comment).
+  struct BoundLog {
+    int node;  // 2*var + (is_hi ? 1 : 0)
+    int src;   // active-row index or pin code
+    int prev;  // previous log entry for `node`, or -1
+  };
+  std::vector<BoundLog> blog_;  // chronological bound-derivation log
+  std::vector<int> bhead_;      // bound node -> latest log entry or -1
+  int conflict_row_ = -1;       // set by propagate_rows on conflict
+  int conflict_var_ = -1;
+  std::vector<int> expl_stack_;            // justification worklist
+  std::vector<std::uint64_t> entry_seen_;  // per log entry, stamped
+  std::vector<std::uint64_t> row_seen_;    // per active row: atom emitted
+  std::vector<std::uint64_t> pin_seen_;    // per int var: pin collected
+  std::uint64_t expl_gen_ = 0;
+  std::vector<Lit> expl_pool_;  // stored explanations, level-scoped
+  std::vector<Lit> expl_scratch_;
+  std::vector<std::uint32_t> expl_off_, expl_len_;  // per var, theory reason
+  std::uint64_t conflicts_since_restart_ = 0;
+  std::uint64_t restart_seq_ = 0;
+  std::uint64_t restart_limit_ = 0;
+
+  // Per-check transients (valid only inside solve(); reset on every exit).
+  const CheckJob* job_ = nullptr;
+  std::uint64_t check_conflict_base_ = 0;
+  std::size_t units_base_ = 0;  // learned_units_ size at solve() entry
+  bool deadline_active_ = false;
+  Clock::time_point deadline_;
+  std::uint64_t ops_ = 0;
+
+  // Clause-exchange state.
+  ClauseExchange::Cursor import_cursor_{};
+  std::vector<ClauseExchange::Lits> import_scratch_;
+
+  // Results of the last solve + lifetime counters.
+  SolveStats stats_;
+  Model model_;
+  std::vector<ExprId> core_;
+  std::vector<int> hot_vars_;
+};
+
+}  // namespace advocat::smt::native

@@ -178,6 +178,10 @@ class RecordingSolver final : public Solver {
     return inner_->num_scopes();
   }
 
+  void set_threads(unsigned n) override { inner_->set_threads(n); }
+
+  void set_deterministic(bool on) override { inner_->set_deterministic(on); }
+
   [[nodiscard]] const SolveStats& solve_stats() const override {
     return inner_->solve_stats();
   }

@@ -10,18 +10,18 @@
 #include <vector>
 
 #include "smt/solver.hpp"
+#include "util/env.hpp"
 
 namespace advocat::testing {
 
 /// Per-query solver timeout for tests that bound slow paths. Defaults to
 /// `fallback`; ADVOCAT_TEST_TIMEOUT_MS overrides it globally so CI smoke
 /// runs can tighten every such bound in one place instead of editing
-/// scattered magic numbers (0 disables the timeout entirely).
+/// scattered magic numbers (0 disables the timeout entirely). Parsing is
+/// validated (garbage, negative, and overflowing values fall back / clamp
+/// with a stderr warning — see util::env_uint).
 inline unsigned test_timeout_ms(unsigned fallback) {
-  if (const char* s = std::getenv("ADVOCAT_TEST_TIMEOUT_MS")) {
-    return static_cast<unsigned>(std::strtoul(s, nullptr, 10));
-  }
-  return fallback;
+  return util::env_test_timeout_ms(fallback);
 }
 
 inline std::vector<smt::Backend> solver_backends() {

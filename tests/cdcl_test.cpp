@@ -444,5 +444,22 @@ TEST(Cdcl, TimeoutReturnsUnknownPromptly) {
   EXPECT_LT(watch.seconds(), 5.0) << "timeout overshot by >100x";
 }
 
+TEST(Cdcl, TimedOutCheckDoesNotLeakDeadlineIntoNextCheck) {
+  // Per-check transient state (deadline_active_, the ops_ poll counter)
+  // must be fully reset when a check exits by *any* path, including the
+  // Timeout unwind. A leaked deadline would make the follow-up untimed
+  // check on the same session spuriously Unknown the moment its first
+  // deadline poll fires.
+  ExprFactory f;
+  auto solver = make_solver(f, Backend::Native);
+  for (ExprId c : pigeonhole(f, 9, 8)) solver->add(c);
+  ASSERT_EQ(solver->check(/*timeout_ms=*/1), SatResult::Unknown)
+      << "PHP(9,8) must not be refutable within 1ms for this regression "
+         "test to bite";
+  // Same session, no timeout: must run to the definite verdict. With the
+  // stale 1ms deadline this returns Unknown almost immediately.
+  EXPECT_EQ(solver->check(/*timeout_ms=*/0), SatResult::Unsat);
+}
+
 }  // namespace
 }  // namespace advocat::smt

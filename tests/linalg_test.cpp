@@ -315,6 +315,39 @@ TEST(Simplex, RetractRestoresFeasibilityAndReusesBasis) {
   EXPECT_LE(s.value(x) + s.value(y), Rational(3));
 }
 
+TEST(Simplex, RetractOnEmptyTrailAndPastMarkIsSafe) {
+  // Edge cases of the bound-trail retraction: an empty trail, a mark
+  // beyond the trail end (pop "past the first mark"), and repeated
+  // retraction to zero must all be exact no-ops — and a full retraction
+  // must restore the had-no-bound state, not leave a stale bound behind.
+  Simplex s;
+  const int x = s.var(0);
+  s.retract_to(0);  // empty trail: nothing to pop
+  EXPECT_EQ(s.mark(), 0u);
+
+  ASSERT_TRUE(s.assert_upper(x, Rational(4), 1));
+  const std::size_t m = s.mark();
+  s.retract_to(m + 100);  // mark beyond the trail: no-op, nothing popped
+  EXPECT_EQ(s.mark(), m);
+
+  s.retract_to(0);
+  EXPECT_EQ(s.mark(), 0u);
+  s.retract_to(0);  // idempotent on the now-empty trail
+  EXPECT_EQ(s.mark(), 0u);
+
+  // x is unbounded again: a bound far above the retracted upper bound
+  // must be accepted without conflict...
+  ASSERT_TRUE(s.assert_lower(x, Rational(10), 2));
+  ASSERT_TRUE(s.check());
+  EXPECT_GE(s.value(x), Rational(10));
+  s.retract_to(0);
+  // ...and after retracting that too, a bound crossing it must also be
+  // accepted — a leaked lower bound of 10 would reject upper = -5 here.
+  ASSERT_TRUE(s.assert_upper(x, Rational(-5), 3));
+  ASSERT_TRUE(s.check());
+  EXPECT_LE(s.value(x), Rational(-5));
+}
+
 // Property: random bound probes over a fixed tableau. Feasible checks
 // must produce values inside every asserted bound; infeasible checks must
 // produce a certificate that re-substitutes to 0 <= negative.

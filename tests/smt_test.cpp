@@ -149,6 +149,49 @@ TEST_P(SolverBackend, NegativeCoefficientsAndDisequalities) {
   EXPECT_EQ(solver->model().int_value("y"), 2);
 }
 
+TEST_P(SolverBackend, CanonicalSignEqualityDedupIsSemantics) {
+  // The native atom translation canonicalizes equality signs (Σ = b and
+  // −Σ = −b dedup to one theory atom). Pin the semantics around that
+  // dedup key: the two renderings must be equivalent (asserting one and
+  // the negation of the other is Unsat) ...
+  ExprFactory f;
+  const ExprId x = f.int_var("x");
+  const ExprId y = f.int_var("y");
+  auto solver = make_solver(f, GetParam());
+  const ExprId pos = f.eq(f.add({f.mul_const(3, x), f.mul_const(-2, y)}),
+                          f.int_const(6));
+  const ExprId flip = f.eq(f.add({f.mul_const(-3, x), f.mul_const(2, y)}),
+                           f.int_const(-6));
+  solver->push();
+  solver->add(pos);
+  solver->add(f.not_(flip));
+  EXPECT_EQ(solver->check(), SatResult::Unsat);
+  solver->pop();
+  solver->add(pos);
+  solver->add(flip);
+  EXPECT_EQ(solver->check(), SatResult::Sat);
+}
+
+TEST_P(SolverBackend, RowAndItsNegationDoNotCollide) {
+  // ... while a ≤-row and its sign-flipped counterpart are *different*
+  // constraints and must never collide in the dedup: x ≤ 3 and −x ≤ −3
+  // (x ≥ 3) intersect exactly at x = 3, and x ≤ 3 with −x ≤ −4 (the
+  // negation ¬(x ≤ 3)) is Unsat. A key collision between a row and its
+  // negation would flip one of these verdicts.
+  ExprFactory f;
+  const ExprId x = f.int_var("x");
+  auto solver = make_solver(f, GetParam());
+  solver->push();
+  solver->add(f.le(x, f.int_const(3)));
+  solver->add(f.le(f.mul_const(-1, x), f.int_const(-3)));
+  ASSERT_EQ(solver->check(), SatResult::Sat);
+  EXPECT_EQ(solver->model().int_value("x"), 3);
+  solver->pop();
+  solver->add(f.le(x, f.int_const(3)));
+  solver->add(f.le(f.mul_const(-1, x), f.int_const(-4)));
+  EXPECT_EQ(solver->check(), SatResult::Unsat);
+}
+
 TEST_P(SolverBackend, UnconstrainedVariableDefaultsToZeroInModel) {
   ExprFactory f;
   const ExprId x = f.int_var("x");
