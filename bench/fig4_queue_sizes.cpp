@@ -111,6 +111,8 @@ int main(int argc, char** argv) {
               .field("validations", inc.validations)
               .field("invariant_generations", inc.invariant_generations)
               .field("solver_checks", inc.solver_checks)
+              .field("analysis_ms", inc.analysis_ms)
+              .field("diagnostics", inc.diagnostics)
               .solver_stats(inc.solve_stats)
               .field("seconds", inc.seconds)
               .field("seconds_reencode", re.seconds)

@@ -13,15 +13,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-if [ "$#" -gt 0 ]; then
-  files="$*"
-else
-  files="README.md docs/*.md"
+# Default file set as positional parameters, so names with spaces survive.
+if [ "$#" -eq 0 ]; then
+  set -- README.md docs/*.md
 fi
 
 status=0
 checked=0
-for f in $files; do
+for f in "$@"; do
   [ -f "$f" ] || { echo "check_doc_links: no such file: $f" >&2; status=1; continue; }
   dir=$(dirname "$f")
   # One target per line: grab the (...) of every ](...) occurrence.
@@ -43,4 +42,4 @@ EOF
 done
 
 echo "check_doc_links: $checked relative links checked" >&2
-exit $status
+exit "$status"

@@ -87,12 +87,19 @@ echo "collect_bench: wrote $(wc -l < "$out" | tr -d ' ') result lines to $out" >
 # "backend" field count as native-comparable only when they were collected
 # without Z3 — PR2's were Auto/Z3, which the ratio labels call out.
 prev=""
-# sort -V: BENCH_PR10 must come after BENCH_PR2, not before.
-for cand in $(ls -1 "$(dirname "$out")"/BENCH_PR*.json BENCH_PR*.json 2>/dev/null | sort -uV); do
-  [ "$cand" -ef "$out" ] && continue
+# Compare candidates against $out by absolute path: the same file can show
+# up under two spellings when $out lives in the current directory.
+out_abs="$(cd "$(dirname "$out")" && pwd)/$(basename "$out")"
+# sort -V: BENCH_PR10 must come after BENCH_PR2, not before. Unmatched
+# globs survive as literals; the -f test drops them.
+while IFS= read -r cand; do
   [ -f "$cand" ] || continue
+  cand_abs="$(cd "$(dirname "$cand")" && pwd)/$(basename "$cand")"
+  [ "$cand_abs" = "$out_abs" ] && continue
   prev=$cand
-done
+done <<EOF
+$(printf '%s\n' "$(dirname "$out")"/BENCH_PR*.json BENCH_PR*.json | sort -uV)
+EOF
 if [ -n "$prev" ] && command -v python3 >/dev/null 2>&1; then
   echo "collect_bench: trajectory vs $prev (ratio >1 = faster now):" >&2
   python3 - "$prev" "$out" >&2 <<'PYEOF' || true
@@ -139,4 +146,4 @@ if not totals:
     print("  (no comparable scenarios)")
 PYEOF
 fi
-exit $status
+exit "$status"

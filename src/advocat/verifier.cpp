@@ -1,6 +1,7 @@
 #include "advocat/verifier.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -16,6 +17,12 @@ namespace advocat::core {
 std::string VerifyResult::to_string() const {
   std::ostringstream os;
   os << report.to_string();
+  if (!diagnostics.empty()) {
+    os << "analysis: " << diagnostics.size() << " warning(s)\n";
+    for (const analysis::Diagnostic& d : diagnostics) {
+      os << "  " << d.to_string() << "\n";
+    }
+  }
   os << "invariants: " << num_invariants << " equalities, "
      << num_inequalities << " inequalities\n";
   os << "time: typing " << typing_seconds << "s, invariants "
@@ -34,12 +41,27 @@ Verifier::Verifier(xmas::Network net, VerifyOptions options)
     : net_(std::move(net)), options_(options) {
   util::Stopwatch total;
 
-  const std::vector<std::string> problems = net_.validate();
+  util::Stopwatch analysis_watch;
+  analysis::AnalysisResult ar = analysis::analyze(net_);
   ++stats_.validations;
-  if (!problems.empty()) {
+  if (ar.has_errors()) {
     std::string msg = "verify: invalid network:";
-    for (const auto& p : problems) msg += "\n  " + p;
+    for (const analysis::Diagnostic& d : ar.diagnostics) {
+      if (d.severity == analysis::Severity::Error) {
+        msg += "\n  " + d.to_string();
+      }
+    }
     throw std::invalid_argument(msg);
+  }
+  if (options_.prune_dead_channels && !ar.prunable_prims.empty()) {
+    net_ = analysis::prune_idle(net_, ar);
+  }
+  diagnostics_ = std::move(ar.diagnostics);
+  analysis_ms_ = analysis_watch.seconds() * 1000.0;
+  if (!diagnostics_.empty()) {
+    std::fprintf(stderr,
+                 "[advocat] network analysis: %zu warning(s); first: %s\n",
+                 diagnostics_.size(), diagnostics_.front().to_string().c_str());
   }
 
   util::Stopwatch watch;
@@ -188,6 +210,8 @@ VerifyResult Verifier::run_check(const CheckOverrides& o) {
     result.num_inequalities = use_ineq ? invariants_.inequalities.size() : 0;
     result.invariant_text = invariants_.to_strings();
   }
+  result.diagnostics = diagnostics_;
+  result.analysis_ms = analysis_ms_;
   result.typing_seconds = construct_typing_seconds_;
   result.invariant_seconds = invariant_seconds_;
   result.encode_seconds = construct_encode_seconds_;
@@ -299,6 +323,8 @@ smt::SatResult probe_from_scratch(const xmas::Network& net,
   ++result.solver_checks;
   if (vo.use_invariants) ++result.invariant_generations;
   result.solve_stats = r.solve_stats;
+  result.analysis_ms += r.analysis_ms;
+  result.diagnostics = std::max(result.diagnostics, r.diagnostics.size());
   return r.report.result;
 }
 
@@ -445,6 +471,9 @@ QueueSizingResult find_minimal_parallel(
     result.invariant_generations += st.invariant_generations;
     result.encodes += st.encodes;
     result.solver_checks += st.checks;
+    result.analysis_ms += s->analysis_ms();
+    result.diagnostics =
+        std::max(result.diagnostics, s->diagnostics().size());
   }
   result.seconds = total.seconds();
   return result;
@@ -536,6 +565,9 @@ QueueSizingResult find_minimal_queue_size(
     result.invariant_generations += s.invariant_generations;
     result.encodes += s.encodes;
     result.solver_checks += s.checks;
+    result.analysis_ms += session->analysis_ms();
+    result.diagnostics =
+        std::max(result.diagnostics, session->diagnostics().size());
   }
   result.seconds = total.seconds();
   return result;

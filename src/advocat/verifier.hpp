@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/analyzer.hpp"
 #include "deadlock/checker.hpp"
 #include "deadlock/encoder.hpp"
 #include "invariants/generator.hpp"
@@ -50,6 +51,12 @@ struct VerifyOptions {
   bool symbolic_capacities = false;
   /// Mirror the solver session into an SMT-LIB script (Verifier::script()).
   bool record_script = false;
+  /// Drop provably-idle components (every channel dead, no source or
+  /// automaton — see analysis::prune_idle) before encoding. Shrinks the
+  /// SMT problem without changing the verdict; off by default because a
+  /// pruned session's network no longer matches the caller's shape (e.g.
+  /// for probe_compatible fingerprints).
+  bool prune_dead_channels = false;
   /// Parallel search workers inside each solver check (native backend
   /// cube-and-conquer / portfolio; see smt::Solver::set_threads). 0 keeps
   /// the solver's environment default (ADVOCAT_THREADS, itself defaulting
@@ -67,6 +74,13 @@ struct VerifyResult {
   std::size_t num_invariants = 0;
   std::size_t num_inequalities = 0;
   std::vector<std::string> invariant_text;  ///< pretty-printed invariants
+
+  /// Static-analysis findings for the session's network (warnings only —
+  /// errors reject the network at construction; see docs/ANALYSIS.md).
+  std::vector<analysis::Diagnostic> diagnostics;
+  /// Wall-clock cost of the pre-encoding static analysis, in milliseconds.
+  /// Paid once at session construction and repeated in every result.
+  double analysis_ms = 0.0;
 
   /// Solver search effort, cumulative over the session up to and including
   /// this check (mirrors report.solve_stats). On the native backend the
@@ -151,6 +165,13 @@ class Verifier {
   [[nodiscard]] const xmas::Typing& typing() const { return typing_; }
   [[nodiscard]] const VerifyOptions& options() const { return options_; }
   [[nodiscard]] const SessionStats& stats() const { return stats_; }
+  /// Static-analysis warnings for the session's network (errors throw at
+  /// construction, so a live session only ever carries warnings).
+  [[nodiscard]] const std::vector<analysis::Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  /// Pre-encoding static analysis cost in milliseconds (see VerifyResult).
+  [[nodiscard]] double analysis_ms() const { return analysis_ms_; }
   /// Session-cumulative solver search statistics (see smt::SolveStats) —
   /// the same snapshot every VerifyResult carries, without a check.
   [[nodiscard]] const smt::SolveStats& solve_stats() const;
@@ -177,6 +198,8 @@ class Verifier {
 
   xmas::Network net_;
   VerifyOptions options_;
+  std::vector<analysis::Diagnostic> diagnostics_;
+  double analysis_ms_ = 0.0;
   xmas::Typing typing_;
   smt::ExprFactory factory_;
   deadlock::Encoding enc_;
@@ -257,6 +280,12 @@ struct QueueSizingResult {
   std::size_t solver_checks = 0;
   /// Whether the incremental session path was used for every probe.
   bool incremental = false;
+
+  /// Cumulative static-analysis wall clock across every session/probe the
+  /// search built, in milliseconds, and the number of analyzer diagnostics
+  /// (warnings) the probed network carries.
+  double analysis_ms = 0.0;
+  std::size_t diagnostics = 0;
 };
 
 /// Finds the minimal uniform queue capacity for which `make_net(capacity)`

@@ -1,0 +1,529 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "util/strings.hpp"
+#include "xmas/typing.hpp"
+
+namespace advocat::analysis {
+
+using xmas::ChanId;
+using xmas::ColorId;
+using xmas::ColorSet;
+using xmas::set_insert;
+using xmas::set_union;
+using xmas::kNoChan;
+using xmas::Network;
+using xmas::Primitive;
+using xmas::PrimId;
+using xmas::PrimKind;
+
+const char* to_string(Severity severity) {
+  return severity == Severity::Error ? "error" : "warning";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string loc;
+  if (!component.empty()) loc = component;
+  if (!channel.empty()) {
+    if (!loc.empty()) loc += ", ";
+    loc += "channel " + channel;
+  }
+  return util::cat(analysis::to_string(severity), "[", rule, "] ",
+                   loc.empty() ? "" : loc + ": ", message);
+}
+
+bool AnalysisResult::has_errors() const { return num_errors() > 0; }
+
+std::size_t AnalysisResult::num_errors() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::Error) ++n;
+  }
+  return n;
+}
+
+std::size_t AnalysisResult::num_warnings() const {
+  return diagnostics.size() - num_errors();
+}
+
+std::string AnalysisResult::to_string() const {
+  std::string out;
+  for (int pass = 0; pass < 2; ++pass) {
+    const Severity want = pass == 0 ? Severity::Error : Severity::Warning;
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity != want) continue;
+      if (!out.empty()) out += "\n";
+      out += d.to_string();
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// True for the stateless primitives whose output transfer happens in the
+/// same synchronous step as the input transfer; queues, sources, sinks and
+/// automata break combinational paths.
+bool combinational(PrimKind kind) {
+  switch (kind) {
+    case PrimKind::Function:
+    case PrimKind::Fork:
+    case PrimKind::Join:
+    case PrimKind::Switch:
+    case PrimKind::Merge:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void emit(AnalysisResult& result, Severity severity, std::string rule,
+          std::string component, std::string channel, std::string message) {
+  result.diagnostics.push_back(Diagnostic{severity, std::move(rule),
+                                          std::move(component),
+                                          std::move(channel),
+                                          std::move(message)});
+}
+
+/// port-connectivity + duplicate-name + parameters: the structural rules.
+/// Mirrors Network::validate (kept for API compatibility) but reports
+/// structured diagnostics. Returns true when the net is structurally sound
+/// enough for the semantic passes.
+bool check_structure(const Network& net, AnalysisResult& result) {
+  const std::size_t before = result.diagnostics.size();
+  std::unordered_set<std::string> names;
+  for (const Primitive& p : net.prims()) {
+    if (!names.insert(p.name).second) {
+      emit(result, Severity::Error, "duplicate-name", p.name, "",
+           "duplicate primitive name");
+    }
+    for (std::size_t port = 0; port < p.in.size(); ++port) {
+      if (p.in[port] == kNoChan) {
+        emit(result, Severity::Error, "port-connectivity", p.name, "",
+             util::cat("in-port ", port, " unconnected"));
+      }
+    }
+    for (std::size_t port = 0; port < p.out.size(); ++port) {
+      if (p.out[port] == kNoChan) {
+        emit(result, Severity::Error, "port-connectivity", p.name, "",
+             util::cat("out-port ", port, " unconnected"));
+      }
+    }
+    switch (p.kind) {
+      case PrimKind::Queue:
+        if (p.capacity == 0) {
+          emit(result, Severity::Error, "parameters", p.name, "",
+               "queue with zero capacity");
+        }
+        break;
+      case PrimKind::Source:
+        if (p.source_colors.empty()) {
+          emit(result, Severity::Error, "parameters", p.name, "",
+               "source without colors");
+        }
+        break;
+      case PrimKind::Function:
+        if (!p.func) {
+          emit(result, Severity::Error, "parameters", p.name, "",
+               "function without mapping");
+        }
+        break;
+      case PrimKind::Switch:
+        if (!p.route) {
+          emit(result, Severity::Error, "parameters", p.name, "",
+               "switch without routing");
+        }
+        break;
+      case PrimKind::Automaton: {
+        if (p.automaton < 0 ||
+            static_cast<std::size_t>(p.automaton) >= net.automata().size()) {
+          emit(result, Severity::Error, "parameters", p.name, "",
+               "bad automaton index");
+          break;
+        }
+        const xmas::Automaton& a = net.automaton_of(p);
+        if (a.states.empty()) {
+          emit(result, Severity::Error, "parameters", p.name, "",
+               "automaton without states");
+        }
+        if (a.initial < 0 || a.initial >= a.num_states()) {
+          emit(result, Severity::Error, "parameters", p.name, "",
+               "bad initial state");
+        }
+        for (const xmas::AutTransition& t : a.transitions) {
+          if (t.from < 0 || t.from >= a.num_states() || t.to < 0 ||
+              t.to >= a.num_states()) {
+            emit(result, Severity::Error, "parameters", p.name, "",
+                 "transition with bad state: " + t.label);
+          }
+          if (!t.guard || !t.transform) {
+            emit(result, Severity::Error, "parameters", p.name, "",
+                 "transition missing guard/transform: " + t.label);
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (std::size_t c = 0; c < net.channels().size(); ++c) {
+    const xmas::Channel& ch = net.channels()[c];
+    if (ch.initiator < 0 ||
+        static_cast<std::size_t>(ch.initiator) >= net.num_prims() ||
+        ch.target < 0 ||
+        static_cast<std::size_t>(ch.target) >= net.num_prims()) {
+      emit(result, Severity::Error, "port-connectivity", "", "",
+           util::cat("channel ", c, ": dangling endpoint"));
+    }
+  }
+  return result.diagnostics.size() == before;
+}
+
+/// combinational-cycle: DFS over the channel graph restricted to edges
+/// through combinational primitives. Reports each back edge once, with the
+/// cycle spelled out channel by channel.
+void check_combinational_cycles(const Network& net, AnalysisResult& result) {
+  const std::size_t n = net.num_channels();
+  // adj[c] = out-channels reachable from c in the same synchronous step.
+  std::vector<std::vector<ChanId>> adj(n);
+  for (const Primitive& p : net.prims()) {
+    if (!combinational(p.kind)) continue;
+    for (ChanId in : p.in) {
+      if (in == kNoChan) continue;
+      for (ChanId out : p.out) {
+        if (out == kNoChan) continue;
+        adj[static_cast<std::size_t>(in)].push_back(out);
+      }
+    }
+  }
+  enum : char { kWhite, kGray, kBlack };
+  std::vector<char> state(n, kWhite);
+  std::vector<ChanId> parent(n, kNoChan);
+  for (std::size_t root = 0; root < n; ++root) {
+    if (state[root] != kWhite) continue;
+    // (channel, next adjacency index) DFS stack.
+    std::vector<std::pair<ChanId, std::size_t>> stack;
+    stack.emplace_back(static_cast<ChanId>(root), 0);
+    state[root] = kGray;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      const auto& out = adj[static_cast<std::size_t>(u)];
+      if (next == out.size()) {
+        state[static_cast<std::size_t>(u)] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const ChanId v = out[next++];
+      if (state[static_cast<std::size_t>(v)] == kWhite) {
+        state[static_cast<std::size_t>(v)] = kGray;
+        parent[static_cast<std::size_t>(v)] = u;
+        stack.emplace_back(v, 0);
+      } else if (state[static_cast<std::size_t>(v)] == kGray) {
+        // Back edge u -> v: the cycle is v ... u v, via the parent chain.
+        std::vector<ChanId> cycle{v};
+        for (ChanId w = u; w != v; w = parent[static_cast<std::size_t>(w)]) {
+          cycle.push_back(w);
+        }
+        std::reverse(cycle.begin() + 1, cycle.end());
+        std::string path;
+        for (ChanId c : cycle) path += net.channel_name(c) + " -> ";
+        path += net.channel_name(v);
+        emit(result, Severity::Error, "combinational-cycle",
+             net.prim(net.channel(v).target).name, net.channel_name(v),
+             "combinational cycle (no queue breaks it): " + path);
+      }
+    }
+  }
+}
+
+/// The guarded T-derivation: the same forward fixpoint as Typing::derive,
+/// but every std::function-valued parameter is range-checked before its
+/// result is used — Typing::derive (and the encoder after it) index ports
+/// and colors with those results, so an out-of-range route or emission
+/// must be caught here, before anything downstream runs.
+std::vector<ColorSet> derive_checked(const Network& net,
+                                     AnalysisResult& result) {
+  std::vector<ColorSet> T(net.num_channels());
+  // Violations are collected keyed by message so the fixpoint's repeated
+  // visits do not repeat diagnostics, and emission order is deterministic.
+  std::map<std::string, Diagnostic> violations;
+  auto violation = [&](const Primitive& p, std::string message) {
+    Diagnostic d{Severity::Error, "type-consistency", p.name, "",
+                 std::move(message)};
+    violations.emplace(d.component + "|" + d.message, std::move(d));
+  };
+  const auto num_colors = static_cast<ColorId>(net.colors().size());
+  auto color_name = [&](ColorId d) { return net.colors().name(d); };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Primitive& p : net.prims()) {
+      auto in = [&](std::size_t port) -> const ColorSet& {
+        return T[static_cast<std::size_t>(p.in[port])];
+      };
+      auto out = [&](std::size_t port) -> ColorSet& {
+        return T[static_cast<std::size_t>(p.out[port])];
+      };
+      switch (p.kind) {
+        case PrimKind::Source:
+          for (ColorId d : p.source_colors) {
+            if (d < 0 || d >= num_colors) {
+              violation(p, util::cat("source color ", d,
+                                     " outside the color table"));
+              continue;
+            }
+            changed |= set_insert(out(0), d);
+          }
+          break;
+        case PrimKind::Queue:
+          changed |= set_union(out(0), in(0));
+          break;
+        case PrimKind::Function:
+          for (ColorId d : in(0)) {
+            const ColorId f = p.func(d);
+            if (f < 0 || f >= num_colors) {
+              violation(p, util::cat("func(", color_name(d), ") = ", f,
+                                     " outside the color table [0, ",
+                                     num_colors, ")"));
+              continue;
+            }
+            changed |= set_insert(out(0), f);
+          }
+          break;
+        case PrimKind::Fork:
+          changed |= set_union(out(0), in(0));
+          changed |= set_union(out(1), in(0));
+          break;
+        case PrimKind::Join:
+          changed |= set_union(out(0), in(0));
+          break;
+        case PrimKind::Switch:
+          for (ColorId d : in(0)) {
+            const int port = p.route(d);
+            if (port < 0 || static_cast<std::size_t>(port) >= p.out.size()) {
+              violation(p, util::cat("route(", color_name(d), ") = ", port,
+                                     " outside the out-ports [0, ",
+                                     p.out.size(), ")"));
+              continue;
+            }
+            changed |= set_insert(out(static_cast<std::size_t>(port)), d);
+          }
+          break;
+        case PrimKind::Merge:
+          for (std::size_t port = 0; port < p.in.size(); ++port) {
+            changed |= set_union(out(0), in(port));
+          }
+          break;
+        case PrimKind::Automaton: {
+          const xmas::Automaton& a = net.automaton_of(p);
+          for (std::size_t ti = 0; ti < a.transitions.size(); ++ti) {
+            const xmas::AutTransition& t = a.transitions[ti];
+            for (int i = 0; i < a.num_in; ++i) {
+              for (ColorId d : in(static_cast<std::size_t>(i))) {
+                if (!t.guard(i, d)) continue;
+                const auto em = t.transform(i, d);
+                if (!em) continue;
+                const auto [o, d2] = *em;
+                if (o < 0 || static_cast<std::size_t>(o) >= p.out.size()) {
+                  violation(p, util::cat("transition ", t.label, " emits on ",
+                                         "out-port ", o,
+                                         " outside [0, ", p.out.size(), ")"));
+                  continue;
+                }
+                if (d2 < 0 || d2 >= num_colors) {
+                  violation(p, util::cat("transition ", t.label, " emits ",
+                                         "color ", d2,
+                                         " outside the color table"));
+                  continue;
+                }
+                changed |= set_insert(out(static_cast<std::size_t>(o)), d2);
+              }
+            }
+          }
+          break;
+        }
+        case PrimKind::Sink:
+          break;
+      }
+    }
+  }
+  for (auto& [key, d] : violations) result.diagnostics.push_back(std::move(d));
+  return T;
+}
+
+/// dead-channel + unreachable-sink warnings, plus the prunable-component
+/// computation over the checked typing.
+void check_liveness(const Network& net, const std::vector<ColorSet>& T,
+                    AnalysisResult& result) {
+  const std::size_t n = net.num_channels();
+  for (std::size_t c = 0; c < n; ++c) {
+    if (T[c].empty()) {
+      result.dead_channels.push_back(static_cast<ChanId>(c));
+      emit(result, Severity::Warning, "dead-channel", "",
+           net.channel_name(static_cast<ChanId>(c)),
+           "no color can ever appear here (T(c) = ∅)");
+    }
+  }
+
+  // May-reach-a-consumer: a channel is drained at a sink, an automaton, or
+  // a join token port; elsewhere its packets must be able to flow onward.
+  std::vector<char> reaches(n, 0);
+  for (std::size_t c = 0; c < n; ++c) {
+    const xmas::Channel& ch = net.channels()[c];
+    const Primitive& tgt = net.prim(ch.target);
+    if (tgt.kind == PrimKind::Sink || tgt.kind == PrimKind::Automaton ||
+        (tgt.kind == PrimKind::Join && ch.tgt_port == 1)) {
+      reaches[c] = 1;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (reaches[c] != 0) continue;
+      const Primitive& tgt = net.prim(net.channels()[c].target);
+      for (ChanId out : tgt.out) {
+        if (out != kNoChan && reaches[static_cast<std::size_t>(out)] != 0) {
+          reaches[c] = 1;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    if (reaches[c] == 0 && !T[c].empty()) {
+      emit(result, Severity::Warning, "unreachable-sink", "",
+           net.channel_name(static_cast<ChanId>(c)),
+           "packets here can never reach a sink or automaton");
+    }
+  }
+
+  // Prunable components: undirected connected components (primitives
+  // joined by channels) in which every channel is dead and that contain no
+  // source and no automaton. Such a component contributes no deadlock
+  // disjunct — no packet can be stuck, no fair source refused, no
+  // automaton starved — so removing it preserves the verdict. Automata
+  // are excluded because an automaton that can never fire *is* reported
+  // dead by the encoding; pruning one would flip a deadlock to free.
+  std::vector<int> comp(net.num_prims(), -1);
+  int num_comps = 0;
+  for (std::size_t p = 0; p < net.num_prims(); ++p) {
+    if (comp[p] != -1) continue;
+    std::vector<PrimId> frontier{static_cast<PrimId>(p)};
+    comp[p] = num_comps;
+    while (!frontier.empty()) {
+      const PrimId u = frontier.back();
+      frontier.pop_back();
+      const Primitive& prim = net.prim(u);
+      auto visit = [&](ChanId c) {
+        if (c == kNoChan) return;
+        const xmas::Channel& ch = net.channel(c);
+        for (PrimId v : {ch.initiator, ch.target}) {
+          if (comp[static_cast<std::size_t>(v)] == -1) {
+            comp[static_cast<std::size_t>(v)] = num_comps;
+            frontier.push_back(v);
+          }
+        }
+      };
+      for (ChanId c : prim.in) visit(c);
+      for (ChanId c : prim.out) visit(c);
+    }
+    ++num_comps;
+  }
+  std::vector<char> prunable(static_cast<std::size_t>(num_comps), 1);
+  for (std::size_t p = 0; p < net.num_prims(); ++p) {
+    const PrimKind kind = net.prims()[p].kind;
+    if (kind == PrimKind::Source || kind == PrimKind::Automaton) {
+      prunable[static_cast<std::size_t>(comp[p])] = 0;
+    }
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    if (!T[c].empty()) {
+      const PrimId owner = net.channels()[c].initiator;
+      prunable[static_cast<std::size_t>(comp[static_cast<std::size_t>(
+          owner)])] = 0;
+    }
+  }
+  for (std::size_t p = 0; p < net.num_prims(); ++p) {
+    if (prunable[static_cast<std::size_t>(comp[p])] != 0) {
+      result.prunable_prims.push_back(static_cast<PrimId>(p));
+    }
+  }
+}
+
+}  // namespace
+
+AnalysisResult analyze(const Network& net) {
+  AnalysisResult result;
+  const bool wired = check_structure(net, result);
+  check_combinational_cycles(net, result);
+  if (!wired || result.has_errors()) return result;
+  const std::size_t before = result.diagnostics.size();
+  const std::vector<ColorSet> T = derive_checked(net, result);
+  if (result.diagnostics.size() != before) return result;  // type errors
+  check_liveness(net, T, result);
+  return result;
+}
+
+Network prune_idle(const Network& net, const AnalysisResult& analysis) {
+  Network out;
+  out.colors() = net.colors();
+  std::vector<char> drop(net.num_prims(), 0);
+  for (PrimId p : analysis.prunable_prims) {
+    drop[static_cast<std::size_t>(p)] = 1;
+  }
+  std::vector<PrimId> remap(net.num_prims(), -1);
+  for (std::size_t i = 0; i < net.num_prims(); ++i) {
+    if (drop[i] != 0) continue;
+    const Primitive& p = net.prims()[i];
+    switch (p.kind) {
+      case PrimKind::Source:
+        remap[i] = out.add_source(p.name, p.source_colors, p.fair);
+        break;
+      case PrimKind::Sink:
+        remap[i] = out.add_sink(p.name, p.fair);
+        break;
+      case PrimKind::Queue:
+        remap[i] = out.add_queue(p.name, p.capacity, p.fifo);
+        break;
+      case PrimKind::Function:
+        remap[i] = out.add_function(p.name, p.func);
+        break;
+      case PrimKind::Fork:
+        remap[i] = out.add_fork(p.name);
+        break;
+      case PrimKind::Join:
+        remap[i] = out.add_join(p.name);
+        break;
+      case PrimKind::Switch:
+        remap[i] = out.add_switch(p.name, static_cast<int>(p.out.size()),
+                                  p.route);
+        break;
+      case PrimKind::Merge:
+        remap[i] = out.add_merge(p.name, static_cast<int>(p.in.size()));
+        break;
+      case PrimKind::Automaton:
+        remap[i] = out.add_automaton(net.automaton_of(p));
+        break;
+    }
+  }
+  for (std::size_t c = 0; c < net.num_channels(); ++c) {
+    const xmas::Channel& ch = net.channels()[c];
+    const PrimId from = remap[static_cast<std::size_t>(ch.initiator)];
+    const PrimId to = remap[static_cast<std::size_t>(ch.target)];
+    // Channels never straddle a component boundary, so a dropped endpoint
+    // implies the whole channel was pruned with its component.
+    if (from == -1 || to == -1) continue;
+    out.connect(from, ch.init_port, to, ch.tgt_port, ch.name);
+  }
+  return out;
+}
+
+}  // namespace advocat::analysis

@@ -1,0 +1,92 @@
+// Static analysis of xMAS networks — the lint layer in front of the
+// verification pipeline.
+//
+// `analyze` checks a network *before* any encoding and returns structured
+// diagnostics instead of letting a miswired or semantically ill-formed net
+// reach the solver (where it would produce a confusing verdict, or worse,
+// undefined behaviour when a routing function indexes a port that does not
+// exist). Rules, by id:
+//
+//   port-connectivity   (error)   every in/out-port wired exactly once;
+//                                 channel endpoints resolve to primitives
+//   duplicate-name      (error)   primitive names are unique
+//   parameters          (error)   kind-specific parameters present and sane
+//                                 (queue capacity, source colors, function
+//                                 mapping, switch routing, automaton shape)
+//   combinational-cycle (error)   no cycle through combinational primitives
+//                                 only (function/fork/join/switch/merge) —
+//                                 the synchronous transfer relation of such
+//                                 a net has no least fixed point, so the
+//                                 xMAS semantics the paper builds on is
+//                                 undefined for it
+//   type-consistency    (error)   over the derived per-channel color sets:
+//                                 switch routes stay within the out-ports,
+//                                 function images and automaton emissions
+//                                 stay within the color table / port range
+//   dead-channel        (warning) T(c) = ∅: no packet can ever appear
+//   unreachable-sink    (warning) a typed channel whose packets can never
+//                                 reach a consumer (sink, join token port,
+//                                 or automaton)
+//
+// Errors reject the network (core::Verifier throws std::invalid_argument
+// carrying them); warnings are surfaced through VerifyResult and logged.
+//
+// `prune_idle` removes provably-idle components — connected components in
+// which every channel is dead and that contain neither a source nor an
+// automaton — producing a smaller network with the same deadlock verdict
+// and the same minimal capacities (idle components contribute no blocked
+// packet, no fair-source refusal, and no dead automaton to the encoding).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xmas/network.hpp"
+
+namespace advocat::analysis {
+
+enum class Severity { Warning, Error };
+
+[[nodiscard]] const char* to_string(Severity severity);
+
+/// One analyzer finding. `component` names the primitive and `channel` the
+/// channel the finding anchors to; either may be empty when the rule has no
+/// such anchor.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string rule;       ///< stable rule id, e.g. "port-connectivity"
+  std::string component;  ///< primitive name, empty when not applicable
+  std::string channel;    ///< channel display name, empty when not applicable
+  std::string message;
+
+  /// Rendering like "error[type-consistency] sw: route(req) = 7 ...".
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct AnalysisResult {
+  std::vector<Diagnostic> diagnostics;
+  /// Channels with an empty derived color set, ascending. Only populated
+  /// when the network has no errors (the sets are meaningless otherwise).
+  std::vector<xmas::ChanId> dead_channels;
+  /// Primitives of provably-idle components (see prune_idle), ascending.
+  std::vector<xmas::PrimId> prunable_prims;
+
+  [[nodiscard]] bool has_errors() const;
+  [[nodiscard]] std::size_t num_errors() const;
+  [[nodiscard]] std::size_t num_warnings() const;
+  /// One diagnostic per line, errors first.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Runs every rule. Structural errors (connectivity, parameters) suppress
+/// the semantic passes, which need a fully wired net to make sense.
+[[nodiscard]] AnalysisResult analyze(const xmas::Network& net);
+
+/// Returns a copy of `net` without `analysis.prunable_prims` (and the
+/// channels among them). Primitive ids are compacted; names, parameters,
+/// colors, and all surviving wiring are preserved. `analysis` must come
+/// from `analyze(net)` and carry no errors.
+[[nodiscard]] xmas::Network prune_idle(const xmas::Network& net,
+                                       const AnalysisResult& analysis);
+
+}  // namespace advocat::analysis

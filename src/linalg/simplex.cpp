@@ -169,6 +169,77 @@ void Simplex::explain_row(int x, bool below) {
   ++stats_.conflicts;
 }
 
+std::string Simplex::audit() const {
+  const auto bad = [](const std::string& what) { return what; };
+  const int nv = static_cast<int>(vars_.size());
+  // Basis/nonbasis partition, both directions.
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const int owner = rows_[r].owner;
+    if (owner < 0 || owner >= nv) {
+      return bad("row " + std::to_string(r) + ": owner " +
+                 std::to_string(owner) + " out of range");
+    }
+    if (vars_[static_cast<std::size_t>(owner)].basic_row !=
+        static_cast<int>(r)) {
+      return bad("row " + std::to_string(r) + ": owner " +
+                 std::to_string(owner) + " does not point back (basic_row = " +
+                 std::to_string(
+                     vars_[static_cast<std::size_t>(owner)].basic_row) +
+                 ")");
+    }
+  }
+  for (int v = 0; v < nv; ++v) {
+    const VarState& vs = vars_[static_cast<std::size_t>(v)];
+    if (vs.basic_row >= 0) {
+      if (static_cast<std::size_t>(vs.basic_row) >= rows_.size() ||
+          rows_[static_cast<std::size_t>(vs.basic_row)].owner != v) {
+        return bad("var " + std::to_string(v) + ": basic_row " +
+                   std::to_string(vs.basic_row) + " does not own it");
+      }
+    }
+    // Bounds never cross (assert_upper/lower refuse crossing asserts).
+    if (vs.has_lo && vs.has_hi && vs.hi < vs.lo) {
+      return bad("var " + std::to_string(v) + ": crossed bounds");
+    }
+    // Non-basic variables sit inside their bounds at all times (the core
+    // Dutertre–de Moura invariant; only basic variables may violate).
+    if (vs.basic_row < 0) {
+      if ((vs.has_lo && vs.beta < vs.lo) || (vs.has_hi && vs.beta > vs.hi)) {
+        return bad("non-basic var " + std::to_string(v) +
+                   " outside its bounds");
+      }
+    }
+  }
+  // Rows mention only non-basic variables, and the row identity
+  // β(owner) = expr(β) holds exactly.
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    Rational sum;
+    for (const Entry& e : rows_[r].expr.entries()) {
+      if (e.col < 0 || e.col >= nv) {
+        return bad("row " + std::to_string(r) + ": column " +
+                   std::to_string(e.col) + " out of range");
+      }
+      if (vars_[static_cast<std::size_t>(e.col)].basic_row >= 0) {
+        return bad("row " + std::to_string(r) + ": mentions basic var " +
+                   std::to_string(e.col));
+      }
+      if (e.coeff.is_zero()) {
+        return bad("row " + std::to_string(r) + ": explicit zero coefficient");
+      }
+      sum += e.coeff * vars_[static_cast<std::size_t>(e.col)].beta;
+    }
+    if (!(sum == vars_[static_cast<std::size_t>(rows_[r].owner)].beta)) {
+      return bad("row " + std::to_string(r) + ": beta(owner) != expr(beta)");
+    }
+  }
+  for (std::size_t t = 0; t < trail_.size(); ++t) {
+    if (trail_[t].var < 0 || trail_[t].var >= nv) {
+      return bad("trail entry " + std::to_string(t) + ": var out of range");
+    }
+  }
+  return {};
+}
+
 bool Simplex::check() {
   ++stats_.checks;
   for (;;) {

@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "linalg/sparse_row.hpp"
@@ -97,6 +98,17 @@ class Simplex {
   }
 
   [[nodiscard]] const SimplexStats& stats() const { return stats_; }
+
+  /// Number of extended variables (problem columns + slacks) so far.
+  [[nodiscard]] std::size_t num_vars() const { return vars_.size(); }
+
+  /// Deep self-audit of the tableau invariants (basis/nonbasis partition,
+  /// rows over non-basic variables only, row identities βs = expr(β),
+  /// non-crossing bounds, non-basic variables inside their bounds, trail
+  /// well-formedness). Returns "" when every invariant holds, else a
+  /// description of the first violation. O(rows × entries); meant for the
+  /// ADVOCAT_AUDIT harness (smt/audit.hpp), not for production paths.
+  [[nodiscard]] std::string audit() const;
 
   /// Hook polled at every pivot step (and check() iteration); lets a host
   /// solver enforce deadlines by throwing — the tableau is only mutated

@@ -1,0 +1,398 @@
+#include "smt/audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "smt/clause_exchange.hpp"
+#include "smt/search_context.hpp"
+#include "util/env.hpp"
+
+namespace advocat::smt::native {
+
+bool audit_enabled() {
+  static const bool on = util::env_audit();
+  return on;
+}
+
+void audit_fail(const char* site, const char* invariant,
+                const std::string& detail) {
+  std::fprintf(stderr,
+               "advocat: AUDIT FAILURE at %s: invariant '%s' violated: %s\n",
+               site, invariant, detail.c_str());
+  std::abort();
+}
+
+namespace {
+
+std::string lit_str(Lit l) {
+  return (is_neg(l) ? "~v" : "v") + std::to_string(var_of(l));
+}
+
+}  // namespace
+
+void Auditor::check_search(const SearchContext& ctx, const char* site) {
+  if (!audit_enabled()) return;
+  const auto fail = [site](const char* invariant, const std::string& detail) {
+    audit_fail(site, invariant, detail);
+  };
+  const std::size_t nv = ctx.assign_.size();
+  const std::size_t nt = ctx.trail_.size();
+
+  // Propagation heads never outrun the trail.
+  if (ctx.qhead_ > nt || ctx.theory_head_ > nt) {
+    fail("propagation-heads",
+         "qhead " + std::to_string(ctx.qhead_) + ", theory_head " +
+             std::to_string(ctx.theory_head_) + ", trail size " +
+             std::to_string(nt));
+  }
+
+  // Level marks are monotone and point inside their containers.
+  std::size_t prev_trail = 0;
+  for (std::size_t i = 0; i < ctx.levels_.size(); ++i) {
+    const SearchContext::LevelMark& m = ctx.levels_[i];
+    if (m.trail < prev_trail || m.trail > nt || m.rows > ctx.active_rows_.size() ||
+        m.diseqs > ctx.active_diseqs_.size() || m.undo > ctx.undo_.size() ||
+        m.expl > ctx.expl_pool_.size() || m.blog > ctx.blog_.size()) {
+      fail("level-marks", "level " + std::to_string(i + 1) +
+                              ": mark out of range or non-monotone");
+    }
+    prev_trail = m.trail;
+  }
+
+  // Assumption-prefix bookkeeping: placed literals and prefix levels move
+  // in lockstep (each placed prefix literal owns exactly one level) and
+  // never exceed the queue or the current level stack.
+  if (ctx.prefix_placed_ != ctx.prefix_levels_ || ctx.prefix_placed_ < 0 ||
+      ctx.prefix_placed_ > static_cast<int>(ctx.assume_q_.size()) ||
+      ctx.prefix_levels_ > static_cast<int>(ctx.levels_.size())) {
+    fail("assumption-prefix",
+         "placed " + std::to_string(ctx.prefix_placed_) + ", levels " +
+             std::to_string(ctx.prefix_levels_) + ", queue " +
+             std::to_string(ctx.assume_q_.size()) + ", level stack " +
+             std::to_string(ctx.levels_.size()));
+  }
+
+  // Trail well-formedness: every entry assigned with the matching
+  // polarity, no variable twice, and the recorded decision level equal to
+  // the number of level marks at or before the entry's position.
+  std::vector<char> on_trail(nv, 0);
+  std::size_t li = 0;
+  for (std::size_t p = 0; p < nt; ++p) {
+    const Lit l = ctx.trail_[p];
+    const auto v = static_cast<std::size_t>(var_of(l));
+    if (v >= nv) fail("trail-var-range", lit_str(l) + " at position " +
+                                             std::to_string(p));
+    if (on_trail[v]) {
+      fail("trail-duplicate", lit_str(l) + " at position " + std::to_string(p));
+    }
+    on_trail[v] = 1;
+    if (ctx.assign_[v] != (is_neg(l) ? kFalse : kTrue)) {
+      fail("trail-assignment", lit_str(l) + " at position " +
+                                   std::to_string(p) + " not assigned true");
+    }
+    while (li < ctx.levels_.size() && ctx.levels_[li].trail <= p) ++li;
+    if (ctx.level_[v] != static_cast<int>(li)) {
+      fail("trail-level", lit_str(l) + ": recorded level " +
+                              std::to_string(ctx.level_[v]) +
+                              ", trail position implies " + std::to_string(li));
+    }
+  }
+  std::size_t assigned = 0;
+  for (std::size_t v = 0; v < nv; ++v) {
+    if (ctx.assign_[v] != kUndef) ++assigned;
+  }
+  if (assigned != nt) {
+    fail("assigned-count", std::to_string(assigned) + " assigned vars vs " +
+                               std::to_string(nt) + " trail entries");
+  }
+
+  // EVSIDS heap: every unassigned variable present, positions inverse to
+  // the heap array, and the max-heap property on activities.
+  if (ctx.heap_pos_.size() != nv) {
+    fail("heap-size", "heap_pos size " + std::to_string(ctx.heap_pos_.size()) +
+                          " vs " + std::to_string(nv) + " vars");
+  }
+  for (std::size_t i = 0; i < ctx.heap_.size(); ++i) {
+    const int v = ctx.heap_[i];
+    if (v < 0 || static_cast<std::size_t>(v) >= nv ||
+        ctx.heap_pos_[static_cast<std::size_t>(v)] != static_cast<int>(i)) {
+      fail("heap-inverse", "heap[" + std::to_string(i) + "] = v" +
+                               std::to_string(v) + " with heap_pos " +
+                               std::to_string(
+                                   v >= 0 && static_cast<std::size_t>(v) < nv
+                                       ? ctx.heap_pos_[static_cast<std::size_t>(
+                                             v)]
+                                       : -1));
+    }
+    if (i > 0) {
+      const auto parent = static_cast<std::size_t>(ctx.heap_[(i - 1) / 2]);
+      if (ctx.activity_[parent] <
+          ctx.activity_[static_cast<std::size_t>(v)]) {
+        fail("heap-property", "heap[" + std::to_string(i) + "] = v" +
+                                  std::to_string(v) +
+                                  " more active than its parent");
+      }
+    }
+  }
+  for (std::size_t v = 0; v < nv; ++v) {
+    const int hp = ctx.heap_pos_[v];
+    if (hp >= 0 && (static_cast<std::size_t>(hp) >= ctx.heap_.size() ||
+                    ctx.heap_[static_cast<std::size_t>(hp)] !=
+                        static_cast<int>(v))) {
+      fail("heap-inverse", "v" + std::to_string(v) + ": heap_pos " +
+                               std::to_string(hp) + " does not point back");
+    }
+    if (ctx.assign_[v] == kUndef && hp < 0) {
+      fail("heap-membership",
+           "unassigned v" + std::to_string(v) + " missing from the heap");
+    }
+  }
+}
+
+void Auditor::check_deep(const SearchContext& ctx, const char* site,
+                         bool bounds_settled) {
+  if (!audit_enabled()) return;
+  check_search(ctx, site);
+  const auto fail = [site](const char* invariant, const std::string& detail) {
+    audit_fail(site, invariant, detail);
+  };
+  const int nb = ctx.sh_.num_bvars;
+
+  // Clause arena: tombstone discipline and the learned/tainted counters.
+  std::size_t live_learned = 0;
+  std::size_t live_tainted = 0;
+  std::size_t tombstones = 0;
+  for (std::size_t ci = 0; ci < ctx.cls_.size(); ++ci) {
+    const Clause& c = ctx.cls_[ci];
+    if (c.deleted) {
+      ++tombstones;
+      if (!c.lits.empty()) {
+        fail("arena-tombstone",
+             "clause " + std::to_string(ci) + " deleted but holds literals");
+      }
+      continue;
+    }
+    if (c.lits.size() < 2) {
+      fail("arena-clause-size", "clause " + std::to_string(ci) + " has " +
+                                    std::to_string(c.lits.size()) +
+                                    " literals (units live elsewhere)");
+    }
+    for (const Lit l : c.lits) {
+      if (var_of(l) < 0 || var_of(l) >= nb) {
+        fail("arena-var-range",
+             "clause " + std::to_string(ci) + " mentions " + lit_str(l));
+      }
+    }
+    if (c.learned) {
+      ++live_learned;
+      for (std::size_t a = 0; a < c.lits.size(); ++a) {
+        for (std::size_t b = a + 1; b < c.lits.size(); ++b) {
+          if (var_of(c.lits[a]) == var_of(c.lits[b])) {
+            fail("arena-duplicate-var", "learned clause " + std::to_string(ci) +
+                                            " mentions v" +
+                                            std::to_string(var_of(c.lits[a])) +
+                                            " twice");
+          }
+        }
+      }
+    }
+    if (c.tainted) {
+      ++live_tainted;
+      if (!c.learned) {
+        fail("arena-tainted-problem",
+             "clause " + std::to_string(ci) + " tainted but not learned");
+      }
+    }
+  }
+  if (live_learned != ctx.num_learned_live_) {
+    fail("arena-learned-count", std::to_string(live_learned) +
+                                    " live learned clauses vs counter " +
+                                    std::to_string(ctx.num_learned_live_));
+  }
+  // reduce_db() does not retire the tainted counter with the clause, so
+  // the counter over-approximates; compaction requires it never to drop
+  // below the live population (a zero counter with live tainted clauses
+  // would let an unentailed clause survive the next check boundary).
+  if (live_tainted > ctx.num_tainted_) {
+    fail("arena-tainted-count", std::to_string(live_tainted) +
+                                    " live tainted clauses vs counter " +
+                                    std::to_string(ctx.num_tainted_));
+  }
+  if (tombstones > 0 && !ctx.arena_has_tombstones_) {
+    fail("arena-tombstone-flag",
+         std::to_string(tombstones) +
+             " tombstones with arena_has_tombstones_ unset");
+  }
+  for (const Lit l : ctx.learned_units_) {
+    if (var_of(l) < 0 || var_of(l) >= nb) {
+      fail("learned-unit-range", lit_str(l));
+    }
+  }
+
+  // Two-watched literals, exactly once: a live clause is watched under
+  // lits[0] and lits[1] and nowhere else (tombstoned entries linger in
+  // the lists by design and are skipped).
+  std::vector<std::uint8_t> w0(ctx.cls_.size(), 0);
+  std::vector<std::uint8_t> w1(ctx.cls_.size(), 0);
+  for (std::size_t l = 0; l < ctx.watches_.size(); ++l) {
+    for (const int ci : ctx.watches_[l]) {
+      if (ci < 0 || static_cast<std::size_t>(ci) >= ctx.cls_.size()) {
+        fail("watch-clause-range", "watch list of " +
+                                       lit_str(static_cast<Lit>(l)) +
+                                       " holds clause " + std::to_string(ci));
+      }
+      const Clause& c = ctx.cls_[static_cast<std::size_t>(ci)];
+      if (c.deleted) continue;  // lazily-dropped tombstone entry
+      const auto lit = static_cast<Lit>(l);
+      if (lit == c.lits[0]) {
+        ++w0[static_cast<std::size_t>(ci)];
+      } else if (lit == c.lits[1]) {
+        ++w1[static_cast<std::size_t>(ci)];
+      } else {
+        fail("watch-wrong-literal", "clause " + std::to_string(ci) +
+                                        " watched under " + lit_str(lit) +
+                                        " which is not lits[0] or lits[1]");
+      }
+    }
+  }
+  for (std::size_t ci = 0; ci < ctx.cls_.size(); ++ci) {
+    const Clause& c = ctx.cls_[ci];
+    if (c.deleted) continue;
+    const bool same = c.lits[0] == c.lits[1];
+    const bool ok = same ? (w0[ci] == 2 && w1[ci] == 0)
+                         : (w0[ci] == 1 && w1[ci] == 1);
+    if (!ok) {
+      fail("watch-exactly-once",
+           "clause " + std::to_string(ci) + " watched " +
+               std::to_string(w0[ci]) + "x under lits[0], " +
+               std::to_string(w1[ci]) + "x under lits[1]");
+    }
+  }
+
+  // Reason validity: an implied trail literal's reason clause asserts it
+  // in slot 0 and every other literal is false at or below its level.
+  for (const Lit l : ctx.trail_) {
+    const auto v = static_cast<std::size_t>(var_of(l));
+    const int r = ctx.reason_[v];
+    if (r < 0) continue;  // decision, assumption, or theory propagation
+    if (static_cast<std::size_t>(r) >= ctx.cls_.size() ||
+        ctx.cls_[static_cast<std::size_t>(r)].deleted) {
+      fail("reason-clause", lit_str(l) + ": reason " + std::to_string(r) +
+                                " out of range or tombstoned");
+    }
+    const Clause& c = ctx.cls_[static_cast<std::size_t>(r)];
+    if (c.lits[0] != l) {
+      fail("reason-asserts", lit_str(l) + ": reason clause " +
+                                 std::to_string(r) + " has " +
+                                 lit_str(c.lits[0]) + " in slot 0");
+    }
+    for (std::size_t k = 1; k < c.lits.size(); ++k) {
+      const Lit o = c.lits[k];
+      const auto ov = static_cast<std::size_t>(var_of(o));
+      if (ctx.assign_[ov] != (is_neg(o) ? kTrue : kFalse) ||
+          ctx.level_[ov] > ctx.level_[v]) {
+        fail("reason-antecedent",
+             lit_str(l) + ": reason clause " + std::to_string(r) +
+                 " literal " + lit_str(o) + " not false at or below level " +
+                 std::to_string(ctx.level_[v]));
+      }
+    }
+  }
+
+  // Active theory rows and their occurrence lists agree.
+  if (ctx.active_row_lit_.size() != ctx.active_rows_.size()) {
+    fail("row-lit-size", std::to_string(ctx.active_row_lit_.size()) +
+                             " activation literals vs " +
+                             std::to_string(ctx.active_rows_.size()) +
+                             " active rows");
+  }
+  for (std::size_t v = 0; v < ctx.row_occ_.size(); ++v) {
+    for (const int ri : ctx.row_occ_[v]) {
+      if (ri < 0 || static_cast<std::size_t>(ri) >= ctx.active_rows_.size()) {
+        fail("row-occ-range", "int var " + std::to_string(v) +
+                                  " occurs in row " + std::to_string(ri));
+      }
+      bool mentions = false;
+      for (const auto& [tv, tc] : ctx.active_rows_[static_cast<std::size_t>(
+               ri)]->terms) {
+        (void)tc;
+        if (tv == static_cast<int>(v)) {
+          mentions = true;
+          break;
+        }
+      }
+      if (!mentions) {
+        fail("row-occ-mentions", "int var " + std::to_string(v) +
+                                     " listed for row " + std::to_string(ri) +
+                                     " which does not mention it");
+      }
+    }
+  }
+
+  // Interval bounds and branch-and-bound pins: only meaningful at settled
+  // sites — a Timeout can unwind past the leaf search's pops, leaving a
+  // crossed interval or a non-empty pin trail until the next reset.
+  if (bounds_settled) {
+    for (std::size_t v = 0; v < ctx.lo_.size(); ++v) {
+      if (ctx.lo_[v] > ctx.hi_[v]) {
+        fail("interval-crossed", "int var " + std::to_string(v) + ": lo " +
+                                     std::to_string(ctx.lo_[v]) + " > hi " +
+                                     std::to_string(ctx.hi_[v]));
+      }
+    }
+    if (!ctx.pin_trail_.empty()) {
+      fail("pin-trail", std::to_string(ctx.pin_trail_.size()) +
+                            " pins outside the integer leaf search");
+    }
+  }
+
+  // The exact simplex layer audits itself (basis partition, row
+  // identities, slack canonicity); its invariants hold at every site —
+  // the deadline poll throws before any tableau mutation.
+  const std::string spx = ctx.stx_.audit();
+  if (!spx.empty()) fail("simplex", spx);
+}
+
+void Auditor::check_exchange(ClauseExchange& ex, int num_bvars,
+                             const char* site) {
+  if (!audit_enabled()) return;
+  const auto fail = [site](const char* invariant, const std::string& detail) {
+    audit_fail(site, invariant, detail);
+  };
+  for (std::size_t s = 0; s < ClauseExchange::kShards; ++s) {
+    ClauseExchange::Shard& sh = ex.shards_[s];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (sh.clauses.size() > ClauseExchange::kShardCap) {
+      fail("exchange-shard-cap", "shard " + std::to_string(s) + " holds " +
+                                     std::to_string(sh.clauses.size()) +
+                                     " clauses");
+    }
+    for (std::size_t i = 0; i < sh.clauses.size(); ++i) {
+      const ClauseExchange::Lits& lits = sh.clauses[i];
+      if (lits.empty()) {
+        fail("exchange-empty-clause",
+             "shard " + std::to_string(s) + " clause " + std::to_string(i));
+      }
+      for (std::size_t a = 0; a < lits.size(); ++a) {
+        const int v = var_of(lits[a]);
+        if (v < 0 || v >= num_bvars) {
+          fail("exchange-var-range", "shard " + std::to_string(s) +
+                                         " clause " + std::to_string(i) +
+                                         " mentions v" + std::to_string(v));
+        }
+        for (std::size_t b = a + 1; b < lits.size(); ++b) {
+          if (var_of(lits[b]) == v) {
+            fail("exchange-duplicate-var", "shard " + std::to_string(s) +
+                                               " clause " + std::to_string(i) +
+                                               " mentions v" +
+                                               std::to_string(v) + " twice");
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace advocat::smt::native

@@ -29,6 +29,8 @@
 
 namespace advocat::smt::native {
 
+class Auditor;
+
 class ClauseExchange {
  public:
   static constexpr std::size_t kShards = 8;
@@ -81,6 +83,9 @@ class ClauseExchange {
   }
 
  private:
+  // Reads the shards (under their locks) under ADVOCAT_AUDIT.
+  friend class Auditor;
+
   struct Shard {
     std::mutex mu;
     std::vector<Lits> clauses;

@@ -53,6 +53,7 @@
 #include <utility>
 #include <vector>
 
+#include "smt/audit.hpp"
 #include "smt/clause_exchange.hpp"
 #include "smt/search_context.hpp"
 #include "util/env.hpp"
@@ -62,6 +63,7 @@ namespace advocat::smt {
 namespace {
 
 using native::Atom;
+using native::Auditor;
 using native::CheckJob;
 using native::ClauseExchange;
 using native::Clock;
@@ -71,6 +73,7 @@ using native::SearchConfig;
 using native::SearchContext;
 using native::SharedProblem;
 using native::StaticRow;
+using native::audit_enabled;
 using native::mk_lit;
 using native::neg;
 
@@ -602,6 +605,11 @@ class NativeSolver final : public Solver {
     }
     if (verdict == SatResult::Sat) {
       store_model(Model(workers[decider % width]->model()));
+    }
+    if (audit_enabled() && xch != nullptr) {
+      // All workers have joined: everything published this check is
+      // visible, so vet the whole exchange before harvesting it back.
+      Auditor::check_exchange(*xch, sh_.num_bvars, "parallel-harvest");
     }
     harvest(workers);
     return verdict;

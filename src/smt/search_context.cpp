@@ -10,6 +10,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "smt/audit.hpp"
+
 namespace advocat::smt::native {
 namespace {
 
@@ -777,6 +779,7 @@ void SearchContext::backjump(int target) {
   levels_.resize(static_cast<std::size_t>(target));
   prefix_placed_ = std::min(prefix_placed_, target);
   prefix_levels_ = std::min(prefix_levels_, target);
+  if (audit_enabled()) Auditor::check_search(*this, "backjump");
 }
 
 // -------------------------------------------------- learning (first UIP)
@@ -1102,6 +1105,12 @@ void SearchContext::maybe_restart_or_reduce() {
     restart_limit_ = luby(++restart_seq_) * cfg_.restart_base;
     backjump(std::min(prefix_levels_, current_level()));
     import_clauses();
+    if (audit_enabled()) {
+      Auditor::check_deep(*this, "restart", /*bounds_settled=*/true);
+      if (cfg_.exchange != nullptr) {
+        Auditor::check_exchange(*cfg_.exchange, sh_.num_bvars, "import");
+      }
+    }
   }
   if (num_learned_live_ >= kReduceBase + kReduceInc * num_reductions_) {
     reduce_db();
@@ -1566,6 +1575,9 @@ void SearchContext::collect_hot_vars(std::size_t k) {
 
 Outcome SearchContext::run_check() {
   reset_search();
+  if (audit_enabled()) {
+    Auditor::check_deep(*this, "check-begin", /*bounds_settled=*/true);
+  }
 
   // Level 0 holds only *permanent* facts: definitional units, learned
   // unit consequences, and the scope-0 roots, which no pop() can ever
@@ -1719,6 +1731,11 @@ Outcome SearchContext::solve(const CheckJob& job) {
     out = Outcome::Unknown;
   } catch (const Cancelled&) {
     out = Outcome::Cancelled;
+  }
+  if (audit_enabled()) {
+    // A Timeout can unwind past the leaf search's pin pops and leave a
+    // transiently crossed interval until the next reset — checked relaxed.
+    Auditor::check_deep(*this, "check-boundary", /*bounds_settled=*/false);
   }
   stats_.learned_kept = num_learned_live_;
   // Transient per-check state is reset on *every* exit path: a stale

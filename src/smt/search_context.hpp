@@ -128,6 +128,8 @@ struct CheckJob {
   std::size_t hot_k = 0;              ///< hot vars to report at Budget exit
 };
 
+class Auditor;
+
 class SearchContext {
  public:
   SearchContext(const SharedProblem& shared, SearchConfig config);
@@ -170,6 +172,9 @@ class SearchContext {
   void adopt_units(const std::vector<Lit>& units);
 
  private:
+  // Read-only deep invariant checks under ADVOCAT_AUDIT (smt/audit.hpp).
+  friend class Auditor;
+
   // ------------------------------------------------------------- plumbing
   void bump_ops();
   [[nodiscard]] Val value_lit(Lit l) const;

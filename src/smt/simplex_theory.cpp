@@ -133,6 +133,43 @@ SimplexTheory::Verdict SimplexTheory::branch(const std::vector<int>& int_vars,
   return Verdict::Feasible;
 }
 
+std::string SimplexTheory::audit() const {
+  // Canonical-sign uniqueness: every canonical form owns exactly one
+  // slack, every cached slack is canonical (never stored negated), and
+  // slack ids are valid tableau variables.
+  std::unordered_map<int, const std::string*> owner_of;
+  for (const auto& [key, ref] : slack_index_) {
+    if (ref.negated) {
+      return "slack_index_[" + key + "]: stored negated (non-canonical)";
+    }
+    if (ref.var < 0 || static_cast<std::size_t>(ref.var) >= spx_.num_vars()) {
+      return "slack_index_[" + key + "]: slack var " +
+             std::to_string(ref.var) + " out of range";
+    }
+    const auto [it, fresh] = owner_of.emplace(ref.var, &key);
+    if (!fresh) {
+      return "slack var " + std::to_string(ref.var) +
+             " owned by two canonical forms: " + *it->second + " and " + key;
+    }
+  }
+  // The by-pointer row cache must agree with the canonical index.
+  for (const auto& [row, ref] : row_slack_) {
+    const bool negated = row->terms.front().second < 0;
+    std::string key;
+    for (const auto& [v, c] : row->terms) {
+      key += std::to_string(v) + "*" + std::to_string(negated ? -c : c) + ",";
+    }
+    const auto it = slack_index_.find(key);
+    if (it == slack_index_.end()) {
+      return "row_slack_ entry with no canonical form: " + key;
+    }
+    if (it->second.var != ref.var || ref.negated != negated) {
+      return "row_slack_ entry disagrees with canonical index: " + key;
+    }
+  }
+  return spx_.audit();
+}
+
 SimplexTheory::Result SimplexTheory::check(
     const std::vector<const theory::Row*>& rows,
     const std::vector<theory::Pin>& pins, bool integer_complete) {

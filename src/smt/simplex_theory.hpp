@@ -61,6 +61,13 @@ class SimplexTheory {
   /// Deadline poll forwarded to every pivot (may throw; see Simplex).
   void set_tick(std::function<void()> tick) { spx_.set_tick(std::move(tick)); }
 
+  /// Deep self-audit: slack interning consistency (canonical-sign
+  /// uniqueness — one slack per canonical form, row cache in agreement
+  /// with the canonical index) plus the underlying tableau's own audit.
+  /// Returns "" when every invariant holds, else a description of the
+  /// first violation (see smt/audit.hpp).
+  [[nodiscard]] std::string audit() const;
+
  private:
   // Slack handle for a canonical form: negated forms assert mirrored
   // bounds on the positively-signed slack.

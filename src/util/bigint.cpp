@@ -54,7 +54,9 @@ std::int64_t BigInt::to_int64() const {
   std::uint64_t v = 0;
   if (!mag_.empty()) v = mag_[0];
   if (mag_.size() == 2) v |= static_cast<std::uint64_t>(mag_[1]) << 32;
-  return negative_ ? -static_cast<std::int64_t>(v) : static_cast<std::int64_t>(v);
+  // Negate in the unsigned domain: for the INT64_MIN magnitude (2^63),
+  // signed negation would overflow, while 0 - v wraps to the right bits.
+  return static_cast<std::int64_t>(negative_ ? 0 - v : v);
 }
 
 std::string BigInt::to_string() const {

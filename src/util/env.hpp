@@ -61,6 +61,22 @@ inline unsigned env_test_timeout_ms(unsigned fallback) {
       env_uint("ADVOCAT_TEST_TIMEOUT_MS", fallback, 0, 3'600'000));
 }
 
+// Build-time default for the solver invariant auditor (set by the
+// ADVOCAT_AUDIT CMake option for debug builds); the environment variable
+// of the same name always wins.
+#ifndef ADVOCAT_AUDIT_DEFAULT
+#define ADVOCAT_AUDIT_DEFAULT 0
+#endif
+
+/// ADVOCAT_AUDIT: when set (nonzero), the native solver runs deep
+/// invariant audits over its own data structures at restarts, after
+/// backjumps, and at check boundaries (see smt/audit.hpp and
+/// docs/ANALYSIS.md). A violation aborts the process naming the broken
+/// invariant. Expensive — meant for tests, fuzzing, and debugging.
+inline bool env_audit() {
+  return env_uint("ADVOCAT_AUDIT", ADVOCAT_AUDIT_DEFAULT, 0, 1) != 0;
+}
+
 /// ADVOCAT_DETERMINISTIC: when set (nonzero), parallel solving trades
 /// speed for reproducibility — static cube partition, no mid-search
 /// clause exchange, no early cancellation — so identical runs produce

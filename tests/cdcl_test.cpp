@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <functional>
 #include <random>
 #include <string>
@@ -19,6 +20,14 @@
 
 namespace advocat::smt {
 namespace {
+
+// The CDCL suite always runs with the solver invariant auditor on (unless
+// the caller set ADVOCAT_AUDIT explicitly): every backjump, restart, and
+// check boundary here deep-checks the search state (smt/audit.hpp).
+const int kAuditOn = [] {
+  ::setenv("ADVOCAT_AUDIT", "1", /*overwrite=*/0);
+  return 0;
+}();
 
 // Pigeonhole principle PHP(p, h): p pigeons into h holes. Unsat for p > h,
 // and famously resolution-hard — a reliable conflict generator.

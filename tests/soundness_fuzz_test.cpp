@@ -18,6 +18,14 @@
 namespace advocat {
 namespace {
 
+// The fuzzer always runs with the solver invariant auditor on (unless the
+// caller set ADVOCAT_AUDIT explicitly): a wrong verdict caught here is
+// much easier to debug when the broken invariant aborts at its source.
+const int kAuditOn = [] {
+  ::setenv("ADVOCAT_AUDIT", "1", /*overwrite=*/0);
+  return 0;
+}();
+
 using xmas::ColorId;
 using xmas::Network;
 using xmas::PrimId;
