@@ -110,7 +110,10 @@ class JsonLine {
         .field("clauses_exported",
                static_cast<std::size_t>(s.clauses_exported))
         .field("clauses_imported",
-               static_cast<std::size_t>(s.clauses_imported));
+               static_cast<std::size_t>(s.clauses_imported))
+        .field("arena_bytes", static_cast<std::size_t>(s.arena_bytes))
+        .field("arena_compactions",
+               static_cast<std::size_t>(s.arena_compactions));
   }
 
   /// Prints `BENCH_JSON {...}` on its own line.

@@ -26,20 +26,29 @@
 // against the sequential baseline). The re-encode reference runs stay
 // sequential, so the disagreement check also cross-checks parallel against
 // sequential verdicts.
+// A `--position-threads N` flag (default 1) runs the directory-position
+// sweep itself in parallel: every cell of a mesh's grid is an independent
+// sizing problem (its own nets, Verifier sessions, and solver), so cells
+// are computed into a results vector with util::parallel_for and printed
+// serially in grid order afterwards — output and verdicts are identical to
+// the serial sweep.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "advocat/verifier.hpp"
 #include "bench_util.hpp"
 #include "coherence/mi_abstract.hpp"
 #include "util/env.hpp"
+#include "util/parallel.hpp"
 
 using namespace advocat;
 
 namespace {
 
 unsigned g_threads = 1;
+unsigned g_position_threads = 1;
 
 core::QueueSizingResult size_run(int k, int dir_node, bool incremental,
                                  smt::Backend backend) {
@@ -69,16 +78,35 @@ core::QueueSizingResult size_run(int k, int dir_node, bool incremental,
 
 }  // namespace
 
+namespace {
+
+/// Both sizing runs for one directory position, computed cell-by-cell
+/// (possibly in parallel) and printed later in grid order.
+struct CellResult {
+  core::QueueSizingResult inc;
+  core::QueueSizingResult re;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   g_threads = util::env_threads(1);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       const long n = std::strtol(argv[++i], nullptr, 10);
       g_threads = n < 1 ? 1 : (n > 256 ? 256u : static_cast<unsigned>(n));
+    } else if (std::strcmp(argv[i], "--position-threads") == 0 &&
+               i + 1 < argc) {
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      g_position_threads =
+          n < 1 ? 1 : (n > 256 ? 256u : static_cast<unsigned>(n));
     }
   }
   bench::header("E4 / Fig. 4", "minimal queue sizes found by ADVOCAT");
   if (g_threads > 1) std::printf("(parallel probes: %u threads)\n", g_threads);
+  if (g_position_threads > 1) {
+    std::printf("(parallel position sweep: %u threads)\n", g_position_threads);
+  }
 
   const int max_k = bench::smoke() ? 2 : (bench::full_scale() ? 5 : 4);
   int status = 0;
@@ -89,12 +117,24 @@ int main(int argc, char** argv) {
       std::printf("\n[%s] %dx%d mesh, minimal safe queue size per directory "
                   "position (incremental vs re-encode seconds):\n",
                   smt::to_string(backend), k, k);
+      // Each cell is an independent sizing problem; compute them all first
+      // (in parallel when asked), then print in grid order so the output
+      // is byte-identical to the serial sweep.
+      std::vector<CellResult> cells(static_cast<std::size_t>(k) * k);
+      util::parallel_for(
+          cells.size(), g_position_threads, [&](std::size_t i) {
+            const int dir = static_cast<int>(i);
+            cells[i].inc = size_run(k, dir, true, backend);
+            cells[i].re = size_run(k, dir, false, backend);
+          });
       for (int y = 0; y < k; ++y) {
         std::printf("  ");
         for (int x = 0; x < k; ++x) {
           const int dir = y * k + x;
-          const core::QueueSizingResult inc = size_run(k, dir, true, backend);
-          const core::QueueSizingResult re = size_run(k, dir, false, backend);
+          const core::QueueSizingResult& inc =
+              cells[static_cast<std::size_t>(dir)].inc;
+          const core::QueueSizingResult& re =
+              cells[static_cast<std::size_t>(dir)].re;
           const bool conclusive =
               inc.unknown_probes == 0 && re.unknown_probes == 0;
           std::printf("%4zu", inc.minimal_capacity);
@@ -103,6 +143,8 @@ int main(int argc, char** argv) {
               .field("mesh", k)
               .field("directory_node", dir)
               .field("probe_threads", static_cast<std::size_t>(g_threads))
+              .field("position_threads",
+                     static_cast<std::size_t>(g_position_threads))
               .field("minimal_capacity", inc.minimal_capacity)
               .field("minimal_capacity_reencode", re.minimal_capacity)
               .field("conclusive", conclusive)

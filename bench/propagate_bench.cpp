@@ -1,0 +1,147 @@
+// Propagation microbenchmark for the native CDCL core.
+//
+// Two pure-boolean workloads stress the exact code paths the packed clause
+// arena and blocker-literal watches were built for:
+//
+//  - "php": pigeonhole PHP(p, p-1), unsat and resolution-hard — a dense
+//    conflict/learning/deletion workload. Drives the clause-DB reduction
+//    and arena-compaction machinery (arena_compactions > 0 at default
+//    sizes) and measures end-to-end refutation time.
+//  - "chain": many long implication chains toggled by assumption probes —
+//    nearly conflict-free, so its runtime is dominated by propagate_bool()
+//    walking watcher lists. The propagations/second figure is the direct
+//    blocker-watch throughput metric.
+//
+// Each scenario emits one BENCH_JSON line (bench "propagate", a "name"
+// field, seconds, props_per_sec, and the full solver_stats block including
+// arena_bytes / arena_compactions), so scripts/collect_bench.sh picks the
+// lines up automatically. Scenario sizes follow the usual ladder:
+// ADVOCAT_SMOKE < default < ADVOCAT_FULL.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "smt/expr.hpp"
+#include "smt/solver.hpp"
+
+using namespace advocat;
+
+namespace {
+
+// PHP(p, h): p pigeons into h holes; unsat for p > h.
+std::vector<smt::ExprId> pigeonhole(smt::ExprFactory& f, int pigeons,
+                                    int holes) {
+  std::vector<smt::ExprId> constraints;
+  std::vector<std::vector<smt::ExprId>> in(
+      static_cast<std::size_t>(pigeons),
+      std::vector<smt::ExprId>(static_cast<std::size_t>(holes)));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) {
+      in[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)] =
+          f.bool_var("pb_p" + std::to_string(p) + "h" + std::to_string(h));
+    }
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    constraints.push_back(f.or_(in[static_cast<std::size_t>(p)]));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        constraints.push_back(
+            f.or_({f.not_(in[static_cast<std::size_t>(p1)]
+                            [static_cast<std::size_t>(h)]),
+                   f.not_(in[static_cast<std::size_t>(p2)]
+                            [static_cast<std::size_t>(h)])}));
+      }
+    }
+  }
+  return constraints;
+}
+
+void emit(const char* name, double seconds, const smt::SolveStats& stats) {
+  const double props =
+      seconds > 0.0 ? static_cast<double>(stats.propagations) / seconds : 0.0;
+  bench::JsonLine("propagate")
+      .field("name", name)
+      .field("seconds", seconds)
+      .field("props_per_sec", props)
+      .solver_stats(stats)
+      .print();
+}
+
+// Conflict-heavy: refute PHP(p, p-1) from scratch.
+void run_php(int pigeons) {
+  smt::ExprFactory f;
+  auto solver = smt::make_solver(f, smt::Backend::Native);
+  for (smt::ExprId c : pigeonhole(f, pigeons, pigeons - 1)) solver->add(c);
+  bench::Timer timer;
+  const smt::SatResult r = solver->check();
+  const double seconds = timer.seconds();
+  std::printf("  php(%d,%d): %s in %.3fs, %llu conflicts, "
+              "%llu propagations\n",
+              pigeons, pigeons - 1, smt::to_string(r),
+              seconds, static_cast<unsigned long long>(
+                           solver->solve_stats().conflicts),
+              static_cast<unsigned long long>(
+                  solver->solve_stats().propagations));
+  emit("php", seconds, solver->solve_stats());
+}
+
+// Propagation-heavy: `chains` implication chains of length `len`, each
+// headed by a trigger variable. Probing a trigger true forces its whole
+// chain by unit propagation; flipping triggers across `probes` incremental
+// checks makes propagate_bool() the hot loop with almost no conflicts.
+void run_chain(int chains, int len, int probes) {
+  smt::ExprFactory f;
+  auto solver = smt::make_solver(f, smt::Backend::Native);
+  std::vector<smt::ExprId> triggers;
+  triggers.reserve(static_cast<std::size_t>(chains));
+  for (int c = 0; c < chains; ++c) {
+    smt::ExprId prev = f.bool_var("pb_t" + std::to_string(c));
+    triggers.push_back(prev);
+    for (int i = 0; i < len; ++i) {
+      const smt::ExprId next = f.bool_var("pb_c" + std::to_string(c) + "_" +
+                                          std::to_string(i));
+      solver->add(f.or_({f.not_(prev), next}));
+      prev = next;
+    }
+  }
+  bench::Timer timer;
+  bool all_sat = true;
+  for (int p = 0; p < probes; ++p) {
+    // Alternate the asserted polarity so each probe re-walks the watcher
+    // lists from a different phase.
+    std::vector<smt::ExprId> assumptions;
+    assumptions.reserve(triggers.size());
+    for (std::size_t t = 0; t < triggers.size(); ++t) {
+      const bool positive = ((t + static_cast<std::size_t>(p)) % 2) == 0;
+      assumptions.push_back(positive ? triggers[t] : f.not_(triggers[t]));
+    }
+    all_sat &= solver->check_assuming(assumptions) == smt::SatResult::Sat;
+  }
+  const double seconds = timer.seconds();
+  std::printf("  chain(%dx%d, %d probes): %s in %.3fs, %llu propagations\n",
+              chains, len, probes, all_sat ? "all sat" : "UNEXPECTED verdict",
+              seconds,
+              static_cast<unsigned long long>(
+                  solver->solve_stats().propagations));
+  emit("chain", seconds, solver->solve_stats());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("propagate", "native CDCL propagation microbenchmarks");
+  if (bench::smoke()) {
+    run_php(6);
+    run_chain(16, 64, 8);
+  } else if (bench::full_scale()) {
+    run_php(9);
+    run_chain(128, 512, 64);
+  } else {
+    run_php(8);
+    run_chain(64, 256, 32);
+  }
+  return 0;
+}

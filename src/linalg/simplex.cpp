@@ -31,7 +31,8 @@ int Simplex::add_slack(
     const Rational c(coeff);
     const VarState& vs = vars_[static_cast<std::size_t>(x)];
     if (vs.basic_row >= 0) {
-      expr.add_scaled(rows_[static_cast<std::size_t>(vs.basic_row)].expr, c);
+      expr.add_scaled(
+          tab_.to_sparse(static_cast<std::size_t>(vs.basic_row)), c);
     } else {
       expr.add(x, c);
     }
@@ -40,8 +41,8 @@ int Simplex::add_slack(
   const int s = new_var();
   vars_[static_cast<std::size_t>(s)].beta = std::move(beta);
   vars_[static_cast<std::size_t>(s)].basic_row =
-      static_cast<int>(rows_.size());
-  rows_.push_back(TableauRow{s, std::move(expr)});
+      static_cast<int>(tab_.num_rows());
+  tab_.add_row(s, expr);
   return s;
 }
 
@@ -98,10 +99,10 @@ bool Simplex::assert_lower(int x, const Rational& b, int tag) {
 
 void Simplex::update(int x, const Rational& v) {
   const Rational delta = v - vars_[static_cast<std::size_t>(x)].beta;
-  for (const TableauRow& row : rows_) {
-    const Rational c = row.expr.coeff(x);
+  for (std::size_t r = 0; r < tab_.num_rows(); ++r) {
+    const Rational c = tab_.coeff(r, x);
     if (!c.is_zero()) {
-      vars_[static_cast<std::size_t>(row.owner)].beta += c * delta;
+      vars_[static_cast<std::size_t>(tab_.owner(r))].beta += c * delta;
     }
   }
   vars_[static_cast<std::size_t>(x)].beta = v;
@@ -112,7 +113,7 @@ void Simplex::pivot_and_update(int leave, int enter, const Rational& v) {
   ++stats_.pivots;
   const std::size_t ri =
       static_cast<std::size_t>(vars_[static_cast<std::size_t>(leave)].basic_row);
-  const Rational a = rows_[ri].expr.coeff(enter);
+  const Rational a = tab_.coeff(ri, enter);
 
   // Value update (DdM pivotAndUpdate): leave moves to its bound, enter
   // absorbs the change, every other basic row follows.
@@ -120,30 +121,27 @@ void Simplex::pivot_and_update(int leave, int enter, const Rational& v) {
       (v - vars_[static_cast<std::size_t>(leave)].beta) / a;
   vars_[static_cast<std::size_t>(leave)].beta = v;
   vars_[static_cast<std::size_t>(enter)].beta += theta;
-  for (const TableauRow& row : rows_) {
-    if (row.owner == leave) continue;
-    const Rational c = row.expr.coeff(enter);
+  for (std::size_t r = 0; r < tab_.num_rows(); ++r) {
+    if (tab_.owner(r) == leave) continue;
+    const Rational c = tab_.coeff(r, enter);
     if (!c.is_zero()) {
-      vars_[static_cast<std::size_t>(row.owner)].beta += c * theta;
+      vars_[static_cast<std::size_t>(tab_.owner(r))].beta += c * theta;
     }
   }
 
   // Row pivot: from  leave = a·enter + rest  derive
   // enter = (1/a)·leave − rest/a  and substitute in every other row.
-  SparseRow nr = rows_[ri].expr;
+  SparseRow nr = tab_.to_sparse(ri);
   nr.add(enter, -a);            // rest
   nr.scale(-a.reciprocal());    // −rest/a
   nr.add(leave, a.reciprocal());
-  for (TableauRow& row : rows_) {
-    if (row.owner == leave) continue;
-    const Rational c = row.expr.coeff(enter);
-    if (!c.is_zero()) {
-      row.expr.add(enter, -c);
-      row.expr.add_scaled(nr, c);
-    }
+  for (std::size_t r = 0; r < tab_.num_rows(); ++r) {
+    if (tab_.owner(r) == leave) continue;
+    const Rational c = tab_.coeff(r, enter);
+    if (!c.is_zero()) tab_.pivot_merge(r, enter, c, nr);
   }
-  rows_[ri].owner = enter;
-  rows_[ri].expr = std::move(nr);
+  tab_.replace_row(ri, nr.entries());
+  tab_.set_owner(ri, enter);
   vars_[static_cast<std::size_t>(enter)].basic_row = static_cast<int>(ri);
   vars_[static_cast<std::size_t>(leave)].basic_row = -1;
 }
@@ -158,23 +156,27 @@ void Simplex::explain_row(int x, bool below) {
   const VarState& vs = vars_[static_cast<std::size_t>(x)];
   farkas_.push_back(
       {below ? vs.lo_tag : vs.hi_tag, Rational(1)});
-  const SparseRow& expr =
-      rows_[static_cast<std::size_t>(vs.basic_row)].expr;
-  for (const Entry& e : expr.entries()) {
-    const VarState& u = vars_[static_cast<std::size_t>(e.col)];
-    const bool at_hi = below ? !e.coeff.is_negative() : e.coeff.is_negative();
+  const std::size_t ri = static_cast<std::size_t>(vs.basic_row);
+  const std::int32_t* cols = tab_.row_cols(ri);
+  const Rational* coeffs = tab_.row_coeffs(ri);
+  for (std::uint32_t i = 0; i < tab_.row_len(ri); ++i) {
+    const VarState& u = vars_[static_cast<std::size_t>(cols[i])];
+    const Rational& c = coeffs[i];
+    const bool at_hi = below ? !c.is_negative() : c.is_negative();
     farkas_.push_back({at_hi ? u.hi_tag : u.lo_tag,
-                       e.coeff.is_negative() ? -e.coeff : e.coeff});
+                       c.is_negative() ? -c : c});
   }
   ++stats_.conflicts;
 }
 
 std::string Simplex::audit() const {
   const auto bad = [](const std::string& what) { return what; };
+  // CSR span bookkeeping first: everything below trusts the spans.
+  if (std::string what = tab_.audit(); !what.empty()) return bad(what);
   const int nv = static_cast<int>(vars_.size());
   // Basis/nonbasis partition, both directions.
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
-    const int owner = rows_[r].owner;
+  for (std::size_t r = 0; r < tab_.num_rows(); ++r) {
+    const int owner = tab_.owner(r);
     if (owner < 0 || owner >= nv) {
       return bad("row " + std::to_string(r) + ": owner " +
                  std::to_string(owner) + " out of range");
@@ -191,8 +193,8 @@ std::string Simplex::audit() const {
   for (int v = 0; v < nv; ++v) {
     const VarState& vs = vars_[static_cast<std::size_t>(v)];
     if (vs.basic_row >= 0) {
-      if (static_cast<std::size_t>(vs.basic_row) >= rows_.size() ||
-          rows_[static_cast<std::size_t>(vs.basic_row)].owner != v) {
+      if (static_cast<std::size_t>(vs.basic_row) >= tab_.num_rows() ||
+          tab_.owner(static_cast<std::size_t>(vs.basic_row)) != v) {
         return bad("var " + std::to_string(v) + ": basic_row " +
                    std::to_string(vs.basic_row) + " does not own it");
       }
@@ -212,23 +214,25 @@ std::string Simplex::audit() const {
   }
   // Rows mention only non-basic variables, and the row identity
   // β(owner) = expr(β) holds exactly.
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
+  for (std::size_t r = 0; r < tab_.num_rows(); ++r) {
     Rational sum;
-    for (const Entry& e : rows_[r].expr.entries()) {
-      if (e.col < 0 || e.col >= nv) {
+    const std::int32_t* cols = tab_.row_cols(r);
+    const Rational* coeffs = tab_.row_coeffs(r);
+    for (std::uint32_t i = 0; i < tab_.row_len(r); ++i) {
+      if (cols[i] < 0 || cols[i] >= nv) {
         return bad("row " + std::to_string(r) + ": column " +
-                   std::to_string(e.col) + " out of range");
+                   std::to_string(cols[i]) + " out of range");
       }
-      if (vars_[static_cast<std::size_t>(e.col)].basic_row >= 0) {
+      if (vars_[static_cast<std::size_t>(cols[i])].basic_row >= 0) {
         return bad("row " + std::to_string(r) + ": mentions basic var " +
-                   std::to_string(e.col));
+                   std::to_string(cols[i]));
       }
-      if (e.coeff.is_zero()) {
+      if (coeffs[i].is_zero()) {
         return bad("row " + std::to_string(r) + ": explicit zero coefficient");
       }
-      sum += e.coeff * vars_[static_cast<std::size_t>(e.col)].beta;
+      sum += coeffs[i] * vars_[static_cast<std::size_t>(cols[i])].beta;
     }
-    if (!(sum == vars_[static_cast<std::size_t>(rows_[r].owner)].beta)) {
+    if (!(sum == vars_[static_cast<std::size_t>(tab_.owner(r))].beta)) {
       return bad("row " + std::to_string(r) + ": beta(owner) != expr(beta)");
     }
   }
@@ -264,17 +268,18 @@ bool Simplex::check() {
     if (x < 0) return true;
 
     const VarState& vs = vars_[static_cast<std::size_t>(x)];
-    const SparseRow& expr =
-        rows_[static_cast<std::size_t>(vs.basic_row)].expr;
-    // Smallest suitable entering variable (entries are sorted by id).
+    const std::size_t ri = static_cast<std::size_t>(vs.basic_row);
+    // Smallest suitable entering variable (columns are sorted by id).
+    const std::int32_t* cols = tab_.row_cols(ri);
+    const Rational* coeffs = tab_.row_coeffs(ri);
     int enter = -1;
-    for (const Entry& e : expr.entries()) {
-      const VarState& u = vars_[static_cast<std::size_t>(e.col)];
-      const bool want_up = below == !e.coeff.is_negative();
+    for (std::uint32_t i = 0; i < tab_.row_len(ri); ++i) {
+      const VarState& u = vars_[static_cast<std::size_t>(cols[i])];
+      const bool want_up = below == !coeffs[i].is_negative();
       const bool can = want_up ? (!u.has_hi || u.beta < u.hi)
                                : (!u.has_lo || u.beta > u.lo);
       if (can) {
-        enter = e.col;
+        enter = cols[i];
         break;
       }
     }

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "linalg/csr_tableau.hpp"
 #include "linalg/sparse_row.hpp"
 
 namespace advocat::linalg {
@@ -136,13 +137,6 @@ class Simplex {
     int old_tag;
   };
 
-  // Tableau row: x_owner = expr, where expr mentions non-basic extended
-  // variables only (constants never occur — callers fold them into bounds).
-  struct TableauRow {
-    int owner;
-    SparseRow expr;  // columns are extended-variable ids
-  };
-
   int new_var();
   // Sets non-basic `x` to v and updates every basic variable's value.
   void update(int x, const Rational& v);
@@ -152,7 +146,11 @@ class Simplex {
   void explain_row(int x, bool below);
 
   std::vector<VarState> vars_;
-  std::vector<TableauRow> rows_;
+  // Tableau rows: x_owner(r) = row(r), where each row mentions non-basic
+  // extended variables only (constants never occur — callers fold them into
+  // bounds). Stored in packed CSR form so the per-pivot full-tableau sweeps
+  // walk contiguous memory; VarState::basic_row indexes into it.
+  CsrTableau tab_;
   std::vector<std::pair<std::int32_t, int>> col_index_;  // sorted col → var
   std::vector<TrailEntry> trail_;
   std::vector<FarkasTerm> farkas_;

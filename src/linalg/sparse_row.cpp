@@ -31,8 +31,11 @@ Rational SparseRow::coeff(std::int32_t col) const {
 
 void SparseRow::add_scaled(const SparseRow& other, const Rational& factor) {
   if (factor.is_zero()) return;
-  // Merge two sorted entry lists.
-  std::vector<Entry> merged;
+  // Merge two sorted entry lists into a reused scratch buffer: elimination
+  // calls this in a tight loop, and reusing one buffer's capacity avoids a
+  // fresh allocation (plus the discarded old list) per call.
+  static thread_local std::vector<Entry> merged;
+  merged.clear();
   merged.reserve(entries_.size() + other.entries_.size());
   std::size_t i = 0;
   std::size_t j = 0;
@@ -51,7 +54,8 @@ void SparseRow::add_scaled(const SparseRow& other, const Rational& factor) {
       ++j;
     }
   }
-  entries_ = std::move(merged);
+  // Swap rather than move so the scratch keeps (and grows) its capacity.
+  entries_.swap(merged);
   constant_ += other.constant_ * factor;
 }
 

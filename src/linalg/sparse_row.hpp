@@ -26,6 +26,15 @@ class SparseRow {
  public:
   SparseRow() = default;
 
+  /// Builds a row directly from entries that are already sorted by column
+  /// and free of zero coefficients (the class invariant); used by the CSR
+  /// tableau to rehydrate a packed row without per-entry insertion.
+  static SparseRow from_sorted(std::vector<Entry> entries) {
+    SparseRow r;
+    r.entries_ = std::move(entries);
+    return r;
+  }
+
   /// Adds `c` to the coefficient of column `col` (drops the entry when the
   /// sum is zero).
   void add(std::int32_t col, const Rational& c);

@@ -160,51 +160,60 @@ void Auditor::check_deep(const SearchContext& ctx, const char* site,
   };
   const int nb = ctx.sh_.num_bvars;
 
-  // Clause arena: tombstone discipline and the learned/tainted counters.
+  // Clause arena: header discipline, waste accounting, and the
+  // learned/tainted counters. Tombstones keep their size field and
+  // literals (sequential walks and stale watch entries depend on it).
+  const ClauseArena& ar = ctx.arena_;
+  std::vector<std::uint8_t> is_header(ar.words(), 0);
   std::size_t live_learned = 0;
   std::size_t live_tainted = 0;
   std::size_t tombstones = 0;
-  for (std::size_t ci = 0; ci < ctx.cls_.size(); ++ci) {
-    const Clause& c = ctx.cls_[ci];
-    if (c.deleted) {
-      ++tombstones;
-      if (!c.lits.empty()) {
-        fail("arena-tombstone",
-             "clause " + std::to_string(ci) + " deleted but holds literals");
-      }
-      continue;
-    }
-    if (c.lits.size() < 2) {
+  std::size_t tombstone_words = 0;
+  for (ClauseRef ci = ar.first(); ci != kClauseRefUndef; ci = ar.next(ci)) {
+    is_header[static_cast<std::size_t>(ci)] = 1;
+    const std::uint32_t n = ar.size(ci);
+    const Lit* lits = ar.lits(ci);
+    if (n < 2) {
       fail("arena-clause-size", "clause " + std::to_string(ci) + " has " +
-                                    std::to_string(c.lits.size()) +
+                                    std::to_string(n) +
                                     " literals (units live elsewhere)");
     }
-    for (const Lit l : c.lits) {
-      if (var_of(l) < 0 || var_of(l) >= nb) {
+    for (std::uint32_t k = 0; k < n; ++k) {
+      if (var_of(lits[k]) < 0 || var_of(lits[k]) >= nb) {
         fail("arena-var-range",
-             "clause " + std::to_string(ci) + " mentions " + lit_str(l));
+             "clause " + std::to_string(ci) + " mentions " + lit_str(lits[k]));
       }
     }
-    if (c.learned) {
+    if (ar.deleted(ci)) {
+      ++tombstones;
+      tombstone_words += ClauseArena::kHeaderWords + n;
+      continue;
+    }
+    if (ar.learned(ci)) {
       ++live_learned;
-      for (std::size_t a = 0; a < c.lits.size(); ++a) {
-        for (std::size_t b = a + 1; b < c.lits.size(); ++b) {
-          if (var_of(c.lits[a]) == var_of(c.lits[b])) {
+      for (std::uint32_t a = 0; a < n; ++a) {
+        for (std::uint32_t b = a + 1; b < n; ++b) {
+          if (var_of(lits[a]) == var_of(lits[b])) {
             fail("arena-duplicate-var", "learned clause " + std::to_string(ci) +
                                             " mentions v" +
-                                            std::to_string(var_of(c.lits[a])) +
+                                            std::to_string(var_of(lits[a])) +
                                             " twice");
           }
         }
       }
     }
-    if (c.tainted) {
+    if (ar.tainted(ci)) {
       ++live_tainted;
-      if (!c.learned) {
+      if (!ar.learned(ci)) {
         fail("arena-tainted-problem",
              "clause " + std::to_string(ci) + " tainted but not learned");
       }
     }
+  }
+  if (tombstone_words != ar.wasted_words()) {
+    fail("arena-waste-accounting",
+         std::to_string(tombstone_words) + " tombstone words vs wasted() " +
+             std::to_string(ar.wasted_words()));
   }
   if (live_learned != ctx.num_learned_live_) {
     fail("arena-learned-count", std::to_string(live_learned) +
@@ -233,41 +242,58 @@ void Auditor::check_deep(const SearchContext& ctx, const char* site,
 
   // Two-watched literals, exactly once: a live clause is watched under
   // lits[0] and lits[1] and nowhere else (tombstoned entries linger in
-  // the lists by design and are skipped).
-  std::vector<std::uint8_t> w0(ctx.cls_.size(), 0);
-  std::vector<std::uint8_t> w1(ctx.cls_.size(), 0);
+  // the lists by design and are skipped). Each watcher's blocker must be
+  // a literal of its clause — the blocker fast path is only sound then.
+  std::vector<std::uint8_t> w0(ar.words(), 0);
+  std::vector<std::uint8_t> w1(ar.words(), 0);
   for (std::size_t l = 0; l < ctx.watches_.size(); ++l) {
-    for (const int ci : ctx.watches_[l]) {
-      if (ci < 0 || static_cast<std::size_t>(ci) >= ctx.cls_.size()) {
+    for (const Watcher& w : ctx.watches_[l]) {
+      if (w.ref < 0 || static_cast<std::size_t>(w.ref) >= ar.words() ||
+          !is_header[static_cast<std::size_t>(w.ref)]) {
         fail("watch-clause-range", "watch list of " +
                                        lit_str(static_cast<Lit>(l)) +
-                                       " holds clause " + std::to_string(ci));
+                                       " holds ref " + std::to_string(w.ref));
       }
-      const Clause& c = ctx.cls_[static_cast<std::size_t>(ci)];
-      if (c.deleted) continue;  // lazily-dropped tombstone entry
+      if (ar.deleted(w.ref)) continue;  // lazily-dropped tombstone entry
+      const Lit* lits = ar.lits(w.ref);
+      const std::uint32_t n = ar.size(w.ref);
+      bool blocker_in_clause = false;
+      for (std::uint32_t k = 0; k < n; ++k) {
+        if (lits[k] == w.blocker) {
+          blocker_in_clause = true;
+          break;
+        }
+      }
+      if (!blocker_in_clause) {
+        fail("watch-blocker", "clause " + std::to_string(w.ref) +
+                                  " watched with blocker " +
+                                  lit_str(w.blocker) +
+                                  " which is not one of its literals");
+      }
       const auto lit = static_cast<Lit>(l);
-      if (lit == c.lits[0]) {
-        ++w0[static_cast<std::size_t>(ci)];
-      } else if (lit == c.lits[1]) {
-        ++w1[static_cast<std::size_t>(ci)];
+      if (lit == lits[0]) {
+        ++w0[static_cast<std::size_t>(w.ref)];
+      } else if (lit == lits[1]) {
+        ++w1[static_cast<std::size_t>(w.ref)];
       } else {
-        fail("watch-wrong-literal", "clause " + std::to_string(ci) +
+        fail("watch-wrong-literal", "clause " + std::to_string(w.ref) +
                                         " watched under " + lit_str(lit) +
                                         " which is not lits[0] or lits[1]");
       }
     }
   }
-  for (std::size_t ci = 0; ci < ctx.cls_.size(); ++ci) {
-    const Clause& c = ctx.cls_[ci];
-    if (c.deleted) continue;
-    const bool same = c.lits[0] == c.lits[1];
-    const bool ok = same ? (w0[ci] == 2 && w1[ci] == 0)
-                         : (w0[ci] == 1 && w1[ci] == 1);
+  for (ClauseRef ci = ar.first(); ci != kClauseRefUndef; ci = ar.next(ci)) {
+    if (ar.deleted(ci)) continue;
+    const Lit* lits = ar.lits(ci);
+    const bool same = lits[0] == lits[1];
+    const auto cs = static_cast<std::size_t>(ci);
+    const bool ok = same ? (w0[cs] == 2 && w1[cs] == 0)
+                         : (w0[cs] == 1 && w1[cs] == 1);
     if (!ok) {
       fail("watch-exactly-once",
            "clause " + std::to_string(ci) + " watched " +
-               std::to_string(w0[ci]) + "x under lits[0], " +
-               std::to_string(w1[ci]) + "x under lits[1]");
+               std::to_string(w0[cs]) + "x under lits[0], " +
+               std::to_string(w1[cs]) + "x under lits[1]");
     }
   }
 
@@ -277,19 +303,20 @@ void Auditor::check_deep(const SearchContext& ctx, const char* site,
     const auto v = static_cast<std::size_t>(var_of(l));
     const int r = ctx.reason_[v];
     if (r < 0) continue;  // decision, assumption, or theory propagation
-    if (static_cast<std::size_t>(r) >= ctx.cls_.size() ||
-        ctx.cls_[static_cast<std::size_t>(r)].deleted) {
+    if (static_cast<std::size_t>(r) >= ar.words() ||
+        !is_header[static_cast<std::size_t>(r)] || ar.deleted(r)) {
       fail("reason-clause", lit_str(l) + ": reason " + std::to_string(r) +
                                 " out of range or tombstoned");
     }
-    const Clause& c = ctx.cls_[static_cast<std::size_t>(r)];
-    if (c.lits[0] != l) {
+    const Lit* lits = ar.lits(r);
+    const std::uint32_t n = ar.size(r);
+    if (lits[0] != l) {
       fail("reason-asserts", lit_str(l) + ": reason clause " +
                                  std::to_string(r) + " has " +
-                                 lit_str(c.lits[0]) + " in slot 0");
+                                 lit_str(lits[0]) + " in slot 0");
     }
-    for (std::size_t k = 1; k < c.lits.size(); ++k) {
-      const Lit o = c.lits[k];
+    for (std::uint32_t k = 1; k < n; ++k) {
+      const Lit o = lits[k];
       const auto ov = static_cast<std::size_t>(var_of(o));
       if (ctx.assign_[ov] != (is_neg(o) ? kTrue : kFalse) ||
           ctx.level_[ov] > ctx.level_[v]) {

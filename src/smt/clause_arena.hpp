@@ -1,0 +1,195 @@
+// Packed clause storage for the native CDCL(T) solver.
+//
+// Every clause of one SearchContext — problem copies and learned material
+// alike — lives in a single flat std::vector<std::uint32_t> and is
+// addressed by ClauseRef, a 32-bit word offset into that vector. This
+// replaces the former one-heap-object-per-clause layout (a std::vector
+// inside a Clause struct): propagation now chases one pointer into one
+// contiguous allocation instead of two per clause visit, and clause refs
+// are half the size of pointers in the watch lists.
+//
+// Layout per clause (word offsets relative to its ClauseRef):
+//
+//   word 0   size (bits 0..27) | learned (28) | tainted (29) |
+//            deleted (30) | prior (31)
+//   word 1   LBD (int32 bit pattern); forwarding ref during compaction
+//   word 2   activity, low 32 bits  }  IEEE double split across two
+//   word 3   activity, high 32 bits }  words via memcpy — bit-exact
+//   word 4.. the literals (size of them)
+//
+// Refs are handed out in allocation order and compaction preserves the
+// relative order of live clauses, so `ref_a < ref_b` iff clause a was
+// created first — the property the reduce-db tie-break relies on for
+// determinism (it replaces the old arena-index comparison).
+//
+// Deletion is a tombstone: the deleted bit is set and the words are
+// accounted as waste, but the size field (and the literals) stay intact so
+// sequential walks and lazily-dropped watch entries keep working. Waste is
+// reclaimed by the two-phase compaction:
+//
+//   begin_compact()   copies live clauses into fresh storage and stashes
+//                     each one's forwarding ref in word 1 of its old
+//                     header (kClauseRefUndef for tombstones);
+//   reloc(old_ref)    maps an old ref to its new home;
+//   finish_compact()  discards the old storage.
+//
+// Between begin and finish the caller rewrites every stored ref (watch
+// lists, reason slots) through reloc(); the arena itself has no idea where
+// refs are held.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace advocat::smt::native {
+
+using ClauseRef = std::int32_t;
+inline constexpr ClauseRef kClauseRefUndef = -1;
+
+class ClauseArena {
+ public:
+  static constexpr std::uint32_t kHeaderWords = 4;
+  static constexpr std::uint32_t kSizeMask = (1u << 28) - 1;
+  static constexpr std::uint32_t kLearnedFlag = 1u << 28;
+  static constexpr std::uint32_t kTaintedFlag = 1u << 29;
+  static constexpr std::uint32_t kDeletedFlag = 1u << 30;
+  static constexpr std::uint32_t kPriorFlag = 1u << 31;
+
+  ClauseRef alloc(const std::int32_t* lits, std::uint32_t n, bool learned,
+                  bool tainted, bool prior, std::int32_t lbd, double act) {
+    const auto ref = static_cast<ClauseRef>(data_.size());
+    std::uint32_t w0 = n & kSizeMask;
+    if (learned) w0 |= kLearnedFlag;
+    if (tainted) w0 |= kTaintedFlag;
+    if (prior) w0 |= kPriorFlag;
+    data_.push_back(w0);
+    data_.push_back(static_cast<std::uint32_t>(lbd));
+    data_.push_back(0);
+    data_.push_back(0);
+    set_act(ref, act);
+    data_.insert(data_.end(), lits, lits + n);
+    return ref;
+  }
+
+  [[nodiscard]] std::uint32_t size(ClauseRef r) const {
+    return data_[static_cast<std::size_t>(r)] & kSizeMask;
+  }
+  [[nodiscard]] bool learned(ClauseRef r) const {
+    return (data_[static_cast<std::size_t>(r)] & kLearnedFlag) != 0;
+  }
+  [[nodiscard]] bool tainted(ClauseRef r) const {
+    return (data_[static_cast<std::size_t>(r)] & kTaintedFlag) != 0;
+  }
+  [[nodiscard]] bool deleted(ClauseRef r) const {
+    return (data_[static_cast<std::size_t>(r)] & kDeletedFlag) != 0;
+  }
+  [[nodiscard]] bool prior(ClauseRef r) const {
+    return (data_[static_cast<std::size_t>(r)] & kPriorFlag) != 0;
+  }
+  void set_prior(ClauseRef r, bool on) {
+    if (on) data_[static_cast<std::size_t>(r)] |= kPriorFlag;
+    else data_[static_cast<std::size_t>(r)] &= ~kPriorFlag;
+  }
+  [[nodiscard]] std::int32_t lbd(ClauseRef r) const {
+    return static_cast<std::int32_t>(data_[static_cast<std::size_t>(r) + 1]);
+  }
+  [[nodiscard]] std::int32_t* lits(ClauseRef r) {
+    return reinterpret_cast<std::int32_t*>(
+        data_.data() + static_cast<std::size_t>(r) + kHeaderWords);
+  }
+  [[nodiscard]] const std::int32_t* lits(ClauseRef r) const {
+    return reinterpret_cast<const std::int32_t*>(
+        data_.data() + static_cast<std::size_t>(r) + kHeaderWords);
+  }
+  [[nodiscard]] double act(ClauseRef r) const {
+    const std::uint64_t u =
+        static_cast<std::uint64_t>(data_[static_cast<std::size_t>(r) + 2]) |
+        (static_cast<std::uint64_t>(data_[static_cast<std::size_t>(r) + 3])
+         << 32);
+    double d;
+    std::memcpy(&d, &u, sizeof d);
+    return d;
+  }
+  void set_act(ClauseRef r, double d) {
+    std::uint64_t u;
+    std::memcpy(&u, &d, sizeof u);
+    data_[static_cast<std::size_t>(r) + 2] = static_cast<std::uint32_t>(u);
+    data_[static_cast<std::size_t>(r) + 3] =
+        static_cast<std::uint32_t>(u >> 32);
+  }
+
+  /// Tombstones the clause. The size field and literals are preserved so
+  /// walks (and stale watch entries) stay valid; the words count as waste.
+  void mark_deleted(ClauseRef r) {
+    data_[static_cast<std::size_t>(r)] |= kDeletedFlag;
+    wasted_ += kHeaderWords + size(r);
+  }
+
+  /// Sequential walk in allocation order; kClauseRefUndef terminates.
+  [[nodiscard]] ClauseRef first() const {
+    return data_.empty() ? kClauseRefUndef : 0;
+  }
+  [[nodiscard]] ClauseRef next(ClauseRef r) const {
+    const std::size_t n = static_cast<std::size_t>(r) + kHeaderWords + size(r);
+    return n >= data_.size() ? kClauseRefUndef
+                             : static_cast<ClauseRef>(n);
+  }
+
+  [[nodiscard]] std::size_t words() const { return data_.size(); }
+  [[nodiscard]] std::size_t bytes() const {
+    return data_.size() * sizeof(std::uint32_t);
+  }
+  [[nodiscard]] std::size_t wasted_words() const { return wasted_; }
+
+  void clear() {
+    data_.clear();
+    wasted_ = 0;
+  }
+
+  /// Phase 1 of compaction: copies live clauses (relative order preserved)
+  /// into fresh storage and writes each one's forwarding ref into word 1
+  /// of its *old* header (kClauseRefUndef for tombstones). Until
+  /// finish_compact(), reloc() maps old refs; all other accessors already
+  /// see the new storage.
+  void begin_compact() {
+    old_.swap(data_);
+    data_.clear();
+    data_.reserve(old_.size() - wasted_);
+    std::size_t r = 0;
+    while (r < old_.size()) {
+      const std::uint32_t w0 = old_[r];
+      const std::size_t total = kHeaderWords + (w0 & kSizeMask);
+      if ((w0 & kDeletedFlag) != 0) {
+        old_[r + 1] = static_cast<std::uint32_t>(kClauseRefUndef);
+      } else {
+        const auto nref = static_cast<ClauseRef>(data_.size());
+        data_.push_back(w0);
+        data_.insert(data_.end(), old_.begin() + static_cast<std::ptrdiff_t>(r) + 1,
+                     old_.begin() + static_cast<std::ptrdiff_t>(r + total));
+        old_[r + 1] = static_cast<std::uint32_t>(nref);
+      }
+      r += total;
+    }
+  }
+
+  /// New home of old ref `r` (kClauseRefUndef if it was a tombstone).
+  /// Valid only between begin_compact() and finish_compact().
+  [[nodiscard]] ClauseRef reloc(ClauseRef r) const {
+    return static_cast<ClauseRef>(old_[static_cast<std::size_t>(r) + 1]);
+  }
+
+  /// Phase 2: drops the old storage; every stored ref must have been
+  /// rewritten through reloc() by now.
+  void finish_compact() {
+    old_.clear();
+    wasted_ = 0;
+  }
+
+ private:
+  std::vector<std::uint32_t> data_;
+  std::vector<std::uint32_t> old_;  // previous storage during compaction
+  std::size_t wasted_ = 0;          // words held by tombstones
+};
+
+}  // namespace advocat::smt::native

@@ -228,7 +228,7 @@ class NativeSolver final : public Solver {
     } else if (c.size() == 1) {
       sh_.def_units.push_back(c[0]);
     } else {
-      sh_.clauses.push_back(std::move(c));
+      sh_.clauses.push(c);
     }
   }
 
@@ -420,8 +420,10 @@ class NativeSolver final : public Solver {
     s.farkas_explanations += extra_.farkas_explanations;
     s.clauses_exported += extra_.clauses_exported;
     s.clauses_imported += extra_.clauses_imported;
+    s.arena_compactions += extra_.arena_compactions;
     s.learned_kept = primary_->learned_live();
     s.threads = threads_;
+    // arena_bytes stays the primary's gauge (workers are ephemeral).
     mutable_stats() = s;
   }
 
@@ -437,6 +439,7 @@ class NativeSolver final : public Solver {
     extra_.farkas_explanations += w.farkas_explanations;
     extra_.clauses_exported += w.clauses_exported;
     extra_.clauses_imported += w.clauses_imported;
+    extra_.arena_compactions += w.arena_compactions;
   }
 
   /// Harvests worker learning back into the primary context in worker

@@ -11,6 +11,7 @@
 #include <limits>
 
 #include "smt/audit.hpp"
+#include "util/env.hpp"
 
 namespace advocat::smt::native {
 namespace {
@@ -35,6 +36,21 @@ constexpr std::int64_t kEnumWindow = 1 << 16;
 // kReduceInc per reduction already performed.
 constexpr std::size_t kReduceBase = 2000;
 constexpr std::size_t kReduceInc = 1000;
+
+// ADVOCAT_REDUCE_BASE / ADVOCAT_REDUCE_INC override kReduceBase /
+// kReduceInc (same values for every context in the process, read once) —
+// the arena GC tests use tiny values to make reductions and compactions
+// happen on small inputs.
+std::size_t reduce_base() {
+  static const std::size_t v =
+      util::env_uint("ADVOCAT_REDUCE_BASE", kReduceBase, 4, 100'000'000);
+  return v;
+}
+std::size_t reduce_inc() {
+  static const std::size_t v =
+      util::env_uint("ADVOCAT_REDUCE_INC", kReduceInc, 4, 100'000'000);
+  return v;
+}
 constexpr double kVarActInc = 1.0 / 0.95;   // EVSIDS decay 0.95
 constexpr double kClaActInc = 1.0 / 0.999;  // clause-activity decay 0.999
 constexpr double kVarActRescale = 1e100;
@@ -129,9 +145,9 @@ bool SearchContext::enqueue(Lit l, int reason) {
 // arena between checks).
 void SearchContext::sync_problem() {
   for (; clauses_synced_ < sh_.clauses.size(); ++clauses_synced_) {
-    Clause cl;
-    cl.lits = sh_.clauses[clauses_synced_];
-    cls_.push_back(std::move(cl));
+    arena_.alloc(sh_.clauses.begin(clauses_synced_),
+                 sh_.clauses.len(clauses_synced_), /*learned=*/false,
+                 /*tainted=*/false, /*prior=*/false, /*lbd=*/0, /*act=*/0.0);
   }
 }
 
@@ -145,25 +161,36 @@ int SearchContext::propagate_bool() {
     auto& ws = watches_[static_cast<std::size_t>(fl)];
     std::size_t i = 0;
     std::size_t keep = 0;
-    int conflict = -1;
+    ClauseRef conflict = kClauseRefUndef;
     while (i < ws.size()) {
-      const int ci = ws[i];
-      Clause& cl = cls_[static_cast<std::size_t>(ci)];
-      if (cl.deleted) {  // lazily drop tombstoned watch entries
-        ++i;
-        continue;
-      }
-      auto& c = cl.lits;
-      if (c[0] == fl) std::swap(c[0], c[1]);
-      if (value_lit(c[0]) == kTrue) {  // clause already satisfied
+      const Watcher w = ws[i];
+      // Blocker fast path: a true blocker proves the clause satisfied
+      // without loading a single clause word from the arena.
+      if (value_lit(w.blocker) == kTrue) {
         ws[keep++] = ws[i++];
         continue;
       }
+      if (arena_.deleted(w.ref)) {  // lazily drop tombstoned watch entries
+        ++i;
+        continue;
+      }
+      Lit* c = arena_.lits(w.ref);
+      const std::uint32_t n = arena_.size(w.ref);
+      if (c[0] == fl) std::swap(c[0], c[1]);
+      const Lit first = c[0];
+      if (first != w.blocker && value_lit(first) == kTrue) {
+        // Clause already satisfied by the other watch: keep the entry and
+        // refresh the blocker to the literal that proved it.
+        ws[keep++] = Watcher{w.ref, first};
+        ++i;
+        continue;
+      }
       bool moved = false;
-      for (std::size_t k = 2; k < c.size(); ++k) {
+      for (std::uint32_t k = 2; k < n; ++k) {
         if (value_lit(c[k]) != kFalse) {
           std::swap(c[1], c[k]);
-          watches_[static_cast<std::size_t>(c[1])].push_back(ci);
+          watches_[static_cast<std::size_t>(c[1])].push_back(
+              Watcher{w.ref, first});
           moved = true;
           break;
         }
@@ -172,18 +199,19 @@ int SearchContext::propagate_bool() {
         ++i;  // watch migrated away from fl
         continue;
       }
-      if (cl.prior) ++stats_.learned_hits;  // cross-check reuse
-      if (!enqueue(c[0], ci)) {  // unit clause contradicted
-        conflict = ci;
+      if (arena_.prior(w.ref)) ++stats_.learned_hits;  // cross-check reuse
+      if (!enqueue(first, w.ref)) {  // unit clause contradicted
+        conflict = w.ref;
         while (i < ws.size()) ws[keep++] = ws[i++];
         break;
       }
-      ws[keep++] = ws[i++];
+      ws[keep++] = Watcher{w.ref, first};
+      ++i;
     }
     ws.resize(keep);
     if (conflict >= 0) return conflict;
   }
-  return -1;
+  return kClauseRefUndef;
 }
 
 // Undo entries are deduplicated per era (one per variable side between
@@ -726,13 +754,18 @@ void SearchContext::bump_var(int v) {
   }
 }
 
-void SearchContext::bump_clause(int ci) {
-  Clause& c = cls_[static_cast<std::size_t>(ci)];
-  if (!c.learned) return;
-  c.act += cla_inc_;
-  if (c.act > kClaActRescale) {
-    for (Clause& cl : cls_) {
-      if (cl.learned) cl.act *= 1.0 / kClaActRescale;
+void SearchContext::bump_clause(ClauseRef ci) {
+  if (!arena_.learned(ci)) return;
+  const double a = arena_.act(ci) + cla_inc_;
+  arena_.set_act(ci, a);
+  if (a > kClaActRescale) {
+    // Rescale every learned clause — tombstones included, exactly like
+    // the old per-object arena, so activity orderings stay bit-identical.
+    for (ClauseRef r = arena_.first(); r != kClauseRefUndef;
+         r = arena_.next(r)) {
+      if (arena_.learned(r)) {
+        arena_.set_act(r, arena_.act(r) * (1.0 / kClaActRescale));
+      }
     }
     cla_inc_ *= 1.0 / kClaActRescale;
   }
@@ -804,8 +837,8 @@ void SearchContext::collect_theory_lits(bool with_diseqs, std::size_t limit,
 // commentary. Produces learnt_ (learnt_[0] the asserting literal,
 // learnt_[1] — when present — the backjump-level watch) and returns the
 // backjump level; lbd_out gets the clause's LBD.
-int SearchContext::analyze(const std::vector<Lit>& conflict, int conflict_ci,
-                           int& lbd_out) {
+int SearchContext::analyze(const Lit* conflict, std::size_t nconf,
+                           ClauseRef conflict_ci, int& lbd_out) {
   const int clevel = current_level();
   learnt_.assign(1, 0);  // slot 0: asserting literal, filled at the end
   int counter = 0;
@@ -821,7 +854,7 @@ int SearchContext::analyze(const std::vector<Lit>& conflict, int conflict_ci,
     if (level_[static_cast<std::size_t>(v)] >= clevel) ++counter;
     else learnt_.push_back(q);
   };
-  for (Lit q : conflict) consider(q);
+  for (std::size_t qi = 0; qi < nconf; ++qi) consider(conflict[qi]);
   if (conflict_ci >= 0) bump_clause(conflict_ci);
 
   Lit p = 0;
@@ -842,8 +875,10 @@ int SearchContext::analyze(const std::vector<Lit>& conflict, int conflict_ci,
     } else {
       // r >= 0: counter > 0 guarantees a resolvable (propagated) literal.
       bump_clause(r);
-      for (Lit q : cls_[static_cast<std::size_t>(r)].lits) {
-        if (q != p) consider(q);
+      const Lit* rl = arena_.lits(r);
+      const std::uint32_t rn = arena_.size(r);
+      for (std::uint32_t i = 0; i < rn; ++i) {
+        if (rl[i] != p) consider(rl[i]);
       }
     }
   }
@@ -860,8 +895,10 @@ int SearchContext::analyze(const std::vector<Lit>& conflict, int conflict_ci,
     const int r = reason_[static_cast<std::size_t>(v)];
     bool redundant = r >= 0;
     if (redundant) {
-      for (Lit u : cls_[static_cast<std::size_t>(r)].lits) {
-        const int uv = var_of(u);
+      const Lit* rl = arena_.lits(r);
+      const std::uint32_t rn = arena_.size(r);
+      for (std::uint32_t k = 0; k < rn; ++k) {
+        const int uv = var_of(rl[k]);
         if (uv == v) continue;
         if (!seen_[static_cast<std::size_t>(uv)] &&
             level_[static_cast<std::size_t>(uv)] > 0) {
@@ -954,8 +991,10 @@ void SearchContext::analyze_final(Lit p, int p_at) {
           }
         }
       } else {
-        for (const Lit q : cls_[static_cast<std::size_t>(r)].lits) {
-          const int u = var_of(q);
+        const Lit* rl = arena_.lits(r);
+        const std::uint32_t rn = arena_.size(r);
+        for (std::uint32_t k = 0; k < rn; ++k) {
+          const int u = var_of(rl[k]);
           if (u != v && level_[static_cast<std::size_t>(u)] > 0) {
             seen_[static_cast<std::size_t>(u)] = 1;
           }
@@ -972,12 +1011,13 @@ void SearchContext::analyze_final(Lit p, int p_at) {
 // Unknown-degraded leaf are tainted: any of them may transitively depend
 // on an unproven refutation, so they all die at the next check boundary
 // and are never exported to other workers.
-bool SearchContext::resolve_conflict(const std::vector<Lit>& conflict,
-                                     int ci) {
+bool SearchContext::resolve_conflict(const Lit* conflict, std::size_t nconf,
+                                     ClauseRef ci) {
   ++stats_.conflicts;
   int clevel = 0;
-  for (const Lit q : conflict) {
-    clevel = std::max(clevel, level_[static_cast<std::size_t>(var_of(q))]);
+  for (std::size_t qi = 0; qi < nconf; ++qi) {
+    clevel = std::max(
+        clevel, level_[static_cast<std::size_t>(var_of(conflict[qi]))]);
   }
   if (clevel == 0) return false;
   // Leaf/theory conflicts may not involve the innermost decisions (e.g.
@@ -985,7 +1025,9 @@ bool SearchContext::resolve_conflict(const std::vector<Lit>& conflict,
   // highest level that actually participates.
   backjump(clevel);
   int lbd = 0;
-  const int bt = analyze(conflict, ci, lbd);
+  // `conflict` may point into the arena (clause conflicts); it is consumed
+  // entirely by analyze(), before the learnt clause is allocated below.
+  const int bt = analyze(conflict, nconf, ci, lbd);
   backjump(bt);
   const bool tainted = saw_unknown_;
   ++stats_.learned_clauses;
@@ -997,18 +1039,15 @@ bool SearchContext::resolve_conflict(const std::vector<Lit>& conflict,
     const bool ok = enqueue(learnt_[0], kReasonNone);
     (void)ok;  // unassigned: its level was above the backjump target
   } else {
-    Clause cl;
-    cl.lits = learnt_;
-    cl.act = cla_inc_;
-    cl.lbd = lbd;
-    cl.learned = true;
-    cl.tainted = tainted;
-    const int lci = static_cast<int>(cls_.size());
-    cls_.push_back(std::move(cl));
+    const ClauseRef lci = arena_.alloc(
+        learnt_.data(), static_cast<std::uint32_t>(learnt_.size()),
+        /*learned=*/true, tainted, /*prior=*/false, lbd, cla_inc_);
     ++num_learned_live_;
     num_tainted_ += tainted ? 1 : 0;
-    watches_[static_cast<std::size_t>(cls_.back().lits[0])].push_back(lci);
-    watches_[static_cast<std::size_t>(cls_.back().lits[1])].push_back(lci);
+    watches_[static_cast<std::size_t>(learnt_[0])].push_back(
+        Watcher{lci, learnt_[1]});
+    watches_[static_cast<std::size_t>(learnt_[1])].push_back(
+        Watcher{lci, learnt_[0]});
     const bool ok = enqueue(learnt_[0], lci);
     (void)ok;
   }
@@ -1079,17 +1118,16 @@ void SearchContext::import_clauses() {
       }
       std::swap(lits[1], lits[at]);
     }
-    Clause cl;
-    cl.lits = std::move(lits);
-    cl.act = cla_inc_;
-    cl.lbd = static_cast<std::int32_t>(cl.lits.size());
-    cl.learned = true;
-    cl.prior = true;  // cross-worker material: count reuse as prior hits
-    const int ci = static_cast<int>(cls_.size());
-    cls_.push_back(std::move(cl));
+    // Cross-worker material: prior, so reuse counts as learned hits.
+    const ClauseRef ci = arena_.alloc(
+        lits.data(), static_cast<std::uint32_t>(lits.size()),
+        /*learned=*/true, /*tainted=*/false, /*prior=*/true,
+        static_cast<std::int32_t>(lits.size()), cla_inc_);
     ++num_learned_live_;
-    watches_[static_cast<std::size_t>(cls_.back().lits[0])].push_back(ci);
-    watches_[static_cast<std::size_t>(cls_.back().lits[1])].push_back(ci);
+    watches_[static_cast<std::size_t>(lits[0])].push_back(
+        Watcher{ci, lits[1]});
+    watches_[static_cast<std::size_t>(lits[1])].push_back(
+        Watcher{ci, lits[0]});
     ++stats_.clauses_imported;
   }
 }
@@ -1112,47 +1150,79 @@ void SearchContext::maybe_restart_or_reduce() {
       }
     }
   }
-  if (num_learned_live_ >= kReduceBase + kReduceInc * num_reductions_) {
+  if (num_learned_live_ >= reduce_base() + reduce_inc() * num_reductions_) {
     reduce_db();
   }
 }
 
 // Deletes the worst half of the deletable learned clauses (kept: small
 // LBD, binary, and locked clauses — those currently acting as a reason).
-// Deletion is a tombstone; watch entries drop lazily and the arena is
-// compacted at the next check boundary.
+// Deletion is a tombstone; watch entries drop lazily. When tombstones hold
+// half the arena it is compacted on the spot (watch and reason refs are
+// rewritten through the forwarding map); whatever waste remains is swept
+// at the next check boundary.
 void SearchContext::reduce_db() {
   ++num_reductions_;
   arena_has_tombstones_ = true;
   reduce_order_.clear();
-  for (std::size_t ci = 0; ci < cls_.size(); ++ci) {
-    const Clause& c = cls_[ci];
-    if (!c.learned || c.deleted || c.lbd <= 2 || c.lits.size() <= 2) {
+  for (ClauseRef ci = arena_.first(); ci != kClauseRefUndef;
+       ci = arena_.next(ci)) {
+    if (!arena_.learned(ci) || arena_.deleted(ci) || arena_.lbd(ci) <= 2 ||
+        arena_.size(ci) <= 2) {
       continue;
     }
-    const int v = var_of(c.lits[0]);
-    const bool locked =
-        assign_[static_cast<std::size_t>(v)] != kUndef &&
-        reason_[static_cast<std::size_t>(v)] == static_cast<int>(ci);
-    if (!locked) reduce_order_.push_back(static_cast<int>(ci));
+    const int v = var_of(arena_.lits(ci)[0]);
+    const bool locked = assign_[static_cast<std::size_t>(v)] != kUndef &&
+                        reason_[static_cast<std::size_t>(v)] == ci;
+    if (!locked) reduce_order_.push_back(ci);
   }
-  // Worst first: highest LBD, then lowest activity; delete half.
+  // Worst first: highest LBD, then lowest activity; delete half. Refs are
+  // monotone in creation order, so the ref tie-break reproduces the old
+  // arena-index tie-break exactly.
   std::sort(reduce_order_.begin(), reduce_order_.end(), [this](int a, int b) {
-    const Clause& ca = cls_[static_cast<std::size_t>(a)];
-    const Clause& cb = cls_[static_cast<std::size_t>(b)];
-    if (ca.lbd != cb.lbd) return ca.lbd > cb.lbd;
-    if (ca.act != cb.act) return ca.act < cb.act;
+    const std::int32_t la = arena_.lbd(a);
+    const std::int32_t lb = arena_.lbd(b);
+    if (la != lb) return la > lb;
+    const double aa = arena_.act(a);
+    const double ab = arena_.act(b);
+    if (aa != ab) return aa < ab;
     return a < b;  // deterministic tie-break
   });
   const std::size_t victims = reduce_order_.size() / 2;
   for (std::size_t i = 0; i < victims; ++i) {
-    Clause& c = cls_[static_cast<std::size_t>(reduce_order_[i])];
-    c.deleted = true;
-    c.lits.clear();
-    c.lits.shrink_to_fit();
+    arena_.mark_deleted(reduce_order_[i]);
     --num_learned_live_;
     ++stats_.deleted_clauses;
   }
+  if (arena_.wasted_words() > 0 &&
+      arena_.wasted_words() * 2 >= arena_.words()) {
+    compact_arena();
+  }
+}
+
+// In-place arena GC at a reduction point: live clauses slide down (order
+// preserved, so refs stay monotone in creation order), and every stored
+// ref — watch lists and the reason slots of assigned variables — is
+// rewritten through the forwarding map. Watch entries of tombstoned
+// clauses are dropped here instead of lazily.
+void SearchContext::compact_arena() {
+  arena_.begin_compact();
+  for (auto& ws : watches_) {
+    std::size_t keep = 0;
+    for (const Watcher& w : ws) {
+      const ClauseRef nr = arena_.reloc(w.ref);
+      if (nr == kClauseRefUndef) continue;  // tombstone entry dropped
+      ws[keep++] = Watcher{nr, w.blocker};
+    }
+    ws.resize(keep);
+  }
+  for (const Lit l : trail_) {
+    int& r = reason_[static_cast<std::size_t>(var_of(l))];
+    if (r >= 0) r = arena_.reloc(r);  // locked clauses are never victims
+  }
+  arena_.finish_compact();
+  arena_has_tombstones_ = false;
+  ++stats_.arena_compactions;
 }
 
 // ------------------------------------------------------------ leaf search
@@ -1475,23 +1545,25 @@ void SearchContext::reset_search() {
 
   // Compact the clause arena: drop tombstones and tainted clauses. Safe
   // only here — the trail is empty, so no clause is locked as a reason
-  // and the watch invariant is vacuous.
+  // and the watch invariant is vacuous (the lists are rebuilt below).
   if (num_tainted_ > 0 || arena_has_tombstones_) {
-    std::size_t w = 0;
-    for (std::size_t ci = 0; ci < cls_.size(); ++ci) {
-      Clause& c = cls_[ci];
-      if (c.deleted) continue;
-      if (c.tainted) {
+    ClauseArena fresh;
+    for (ClauseRef ci = arena_.first(); ci != kClauseRefUndef;
+         ci = arena_.next(ci)) {
+      if (arena_.deleted(ci)) continue;
+      if (arena_.tainted(ci)) {
         --num_learned_live_;
         ++stats_.deleted_clauses;
         continue;
       }
-      if (w != ci) cls_[w] = std::move(c);
-      ++w;
+      fresh.alloc(arena_.lits(ci), arena_.size(ci), arena_.learned(ci),
+                  /*tainted=*/false, arena_.prior(ci), arena_.lbd(ci),
+                  arena_.act(ci));
     }
-    cls_.resize(w);
+    arena_ = std::move(fresh);
     num_tainted_ = 0;
     arena_has_tombstones_ = false;
+    ++stats_.arena_compactions;
   }
 
   // Grow per-variable structures for material translated since the last
@@ -1521,13 +1593,14 @@ void SearchContext::reset_search() {
   heap_.clear();
   for (int v = 0; v < sh_.num_bvars; ++v) heap_insert(v);
   watches_.assign(2 * nv, {});
-  for (std::size_t ci = 0; ci < cls_.size(); ++ci) {
+  for (ClauseRef ci = arena_.first(); ci != kClauseRefUndef;
+       ci = arena_.next(ci)) {
     // Everything learned before this boundary counts as cross-check
     // material from here on (learned_hits tracks its reuse).
-    cls_[ci].prior = cls_[ci].learned;
-    const auto& c = cls_[ci].lits;
-    watches_[static_cast<std::size_t>(c[0])].push_back(static_cast<int>(ci));
-    watches_[static_cast<std::size_t>(c[1])].push_back(static_cast<int>(ci));
+    arena_.set_prior(ci, arena_.learned(ci));
+    const Lit* c = arena_.lits(ci);
+    watches_[static_cast<std::size_t>(c[0])].push_back(Watcher{ci, c[1]});
+    watches_[static_cast<std::size_t>(c[1])].push_back(Watcher{ci, c[0]});
   }
   const std::size_t n = sh_.int_names.size();
   lo_.resize(n, kNegInf);
@@ -1646,12 +1719,13 @@ Outcome SearchContext::run_check() {
           expl_run(&theory_conflict_, nullptr);
         }
       }
-      const std::vector<Lit>& lits =
-          confl.kind == Conflict::kClause
-              ? cls_[static_cast<std::size_t>(confl.ci)].lits
-              : theory_conflict_;
-      if (!resolve_conflict(
-              lits, confl.kind == Conflict::kClause ? confl.ci : -1)) {
+      const bool is_clause = confl.kind == Conflict::kClause;
+      const Lit* lits = is_clause ? arena_.lits(confl.ci)
+                                  : theory_conflict_.data();
+      const std::size_t nlits = is_clause
+                                    ? arena_.size(confl.ci)
+                                    : theory_conflict_.size();
+      if (!resolve_conflict(lits, nlits, is_clause ? confl.ci : -1)) {
         return finish_unsat();
       }
       maybe_restart_or_reduce();
@@ -1704,7 +1778,10 @@ Outcome SearchContext::run_check() {
     } else {
       collect_theory_lits(true, trail_.size(), theory_conflict_);
     }
-    if (!resolve_conflict(theory_conflict_, -1)) return finish_unsat();
+    if (!resolve_conflict(theory_conflict_.data(), theory_conflict_.size(),
+                          -1)) {
+      return finish_unsat();
+    }
     maybe_restart_or_reduce();
     if (job_->conflict_budget != 0 &&
         stats_.conflicts - check_conflict_base_ >= job_->conflict_budget) {
@@ -1738,6 +1815,7 @@ Outcome SearchContext::solve(const CheckJob& job) {
     Auditor::check_deep(*this, "check-boundary", /*bounds_settled=*/false);
   }
   stats_.learned_kept = num_learned_live_;
+  stats_.arena_bytes = arena_.bytes();  // gauge, like learned_kept
   // Transient per-check state is reset on *every* exit path: a stale
   // deadline or job pointer leaking into the next solve would spuriously
   // time out an untimed check (or dangle into freed assumptions).
@@ -1751,20 +1829,18 @@ Outcome SearchContext::solve(const CheckJob& job) {
 // -------------------------------------------------- seeding & harvesting
 
 void SearchContext::seed_from(const SearchContext& primary) {
-  cls_.clear();
-  cls_.reserve(primary.cls_.size());
+  arena_.clear();
   num_learned_live_ = 0;
   num_tainted_ = 0;
   arena_has_tombstones_ = false;
-  for (const Clause& c : primary.cls_) {
-    if (c.deleted || c.tainted) continue;
-    Clause cl;
-    cl.lits = c.lits;
-    cl.lbd = c.lbd;
-    cl.learned = c.learned;
-    cl.prior = c.learned;
-    if (cl.learned) ++num_learned_live_;
-    cls_.push_back(std::move(cl));
+  for (ClauseRef ci = primary.arena_.first(); ci != kClauseRefUndef;
+       ci = primary.arena_.next(ci)) {
+    if (primary.arena_.deleted(ci) || primary.arena_.tainted(ci)) continue;
+    const bool learned = primary.arena_.learned(ci);
+    arena_.alloc(primary.arena_.lits(ci), primary.arena_.size(ci), learned,
+                 /*tainted=*/false, /*prior=*/learned,
+                 primary.arena_.lbd(ci), /*act=*/0.0);
+    if (learned) ++num_learned_live_;
   }
   clauses_synced_ = primary.clauses_synced_;
   learned_units_ = primary.learned_units_;
@@ -1774,14 +1850,19 @@ void SearchContext::seed_from(const SearchContext& primary) {
 void SearchContext::harvest_into(std::vector<std::vector<Lit>>& out,
                                  std::size_t max) const {
   std::size_t taken = 0;
-  for (const Clause& c : cls_) {
+  for (ClauseRef ci = arena_.first(); ci != kClauseRefUndef;
+       ci = arena_.next(ci)) {
     if (taken >= max) break;
-    if (!c.learned || c.prior || c.tainted || c.deleted) continue;
-    if (c.lits.size() > 2 &&
-        (c.lbd > kExportLbdMax || c.lits.size() > kExportLenMax)) {
+    if (!arena_.learned(ci) || arena_.prior(ci) || arena_.tainted(ci) ||
+        arena_.deleted(ci)) {
       continue;
     }
-    out.push_back(c.lits);
+    const std::uint32_t n = arena_.size(ci);
+    if (n > 2 && (arena_.lbd(ci) > kExportLbdMax || n > kExportLenMax)) {
+      continue;
+    }
+    const Lit* c = arena_.lits(ci);
+    out.emplace_back(c, c + n);
     ++taken;
   }
 }
@@ -1799,12 +1880,9 @@ void SearchContext::adopt_clauses(
     const std::vector<std::vector<Lit>>& clauses) {
   for (const std::vector<Lit>& lits : clauses) {
     if (lits.size() < 2) continue;
-    Clause cl;
-    cl.lits = lits;
-    cl.lbd = static_cast<std::int32_t>(lits.size());
-    cl.learned = true;
-    cl.prior = true;
-    cls_.push_back(std::move(cl));
+    arena_.alloc(lits.data(), static_cast<std::uint32_t>(lits.size()),
+                 /*learned=*/true, /*tainted=*/false, /*prior=*/true,
+                 static_cast<std::int32_t>(lits.size()), /*act=*/0.0);
     ++num_learned_live_;
   }
 }

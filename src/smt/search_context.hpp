@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "smt/clause_arena.hpp"
 #include "smt/clause_exchange.hpp"
 #include "smt/expr.hpp"
 #include "smt/simplex_theory.hpp"
@@ -63,17 +64,37 @@ struct Atom {
   std::vector<StaticRow> when_false;  // Le: {>}; Eq: empty (disequality)
 };
 
-// One clause in a worker's arena: problem clauses (copied from the shared
-// problem) and learned clauses share it so watch lists and reasons are
-// plain indices. Deletion is a tombstone until the next check boundary.
-struct Clause {
-  std::vector<Lit> lits;
-  double act = 0.0;
-  std::int32_t lbd = 0;
-  bool learned = false;
-  bool tainted = false;  // depends on an Unknown-degraded leaf: not entailed
-  bool deleted = false;
-  bool prior = false;  // learned in an earlier check (learned_hits bookkeeping)
+// One watch-list entry: the watching clause plus a *blocker* literal — a
+// literal of the clause (usually the other watch at the time the entry was
+// pushed) whose truth proves the clause satisfied without touching the
+// clause words at all. Propagation checks the blocker first; only on a
+// miss does it load the clause from the arena (the MiniSat trick that
+// removes most cache misses from the hot loop).
+struct Watcher {
+  ClauseRef ref = kClauseRefUndef;
+  Lit blocker = 0;
+};
+
+/// Problem clauses packed into one literal pool with a CSR-style offset
+/// table — the shared, read-only mirror of the per-worker clause arena.
+/// Append-only, like everything else in SharedProblem.
+class PackedClauses {
+ public:
+  void push(const std::vector<Lit>& lits) {
+    pool_.insert(pool_.end(), lits.begin(), lits.end());
+    off_.push_back(static_cast<std::uint32_t>(pool_.size()));
+  }
+  [[nodiscard]] std::size_t size() const { return off_.size() - 1; }
+  [[nodiscard]] const Lit* begin(std::size_t i) const {
+    return pool_.data() + off_[i];
+  }
+  [[nodiscard]] std::uint32_t len(std::size_t i) const {
+    return off_[i + 1] - off_[i];
+  }
+
+ private:
+  std::vector<Lit> pool_;
+  std::vector<std::uint32_t> off_{0};
 };
 
 struct Timeout {};    // deadline exceeded (thrown from bump_ops)
@@ -92,7 +113,7 @@ struct SharedProblem {
   std::vector<Atom> atoms;
   std::vector<std::string> int_names;
   std::vector<std::pair<int, std::string>> named_bools;
-  std::vector<std::vector<Lit>> clauses;    // problem clauses (size >= 2)
+  PackedClauses clauses;                    // problem clauses (size >= 2)
   std::vector<Lit> def_units;               // translation units
 };
 
@@ -223,7 +244,7 @@ class SearchContext {
   void heap_insert(int v);
   int heap_pop();
   void bump_var(int v);
-  void bump_clause(int ci);
+  void bump_clause(ClauseRef ci);
   int pick_branch();
 
   // ----------------------------------------------------- levels, backjump
@@ -236,13 +257,18 @@ class SearchContext {
   // ------------------------------------------------- learning (first UIP)
   void collect_theory_lits(bool with_diseqs, std::size_t limit,
                            std::vector<Lit>& out) const;
-  int analyze(const std::vector<Lit>& conflict, int conflict_ci, int& lbd_out);
+  // Conflict literals arrive as a raw span: clause conflicts point straight
+  // into the arena (no copy), theory conflicts into theory_conflict_. The
+  // span is consumed before any arena allocation can invalidate it.
+  int analyze(const Lit* conflict, std::size_t nconf, ClauseRef conflict_ci,
+              int& lbd_out);
   void analyze_final(Lit p, int p_at);
-  bool resolve_conflict(const std::vector<Lit>& conflict, int ci);
+  bool resolve_conflict(const Lit* conflict, std::size_t nconf, ClauseRef ci);
   void export_learnt(int lbd);
   void import_clauses();
   void maybe_restart_or_reduce();
   void reduce_db();
+  void compact_arena();
 
   // ---------------------------------------------------------- leaf search
   void capture_model();
@@ -262,8 +288,9 @@ class SearchContext {
   const SharedProblem& sh_;
   SearchConfig cfg_;
 
-  // Clause database (persists across solve() calls on this context).
-  std::vector<Clause> cls_;
+  // Clause database (persists across solve() calls on this context): one
+  // packed arena addressed by 32-bit refs; see clause_arena.hpp.
+  ClauseArena arena_;
   std::size_t clauses_synced_ = 0;  // prefix of sh_.clauses already copied
   std::vector<Lit> learned_units_;  // permanent learned unit consequences
   std::size_t num_learned_live_ = 0;
@@ -273,9 +300,9 @@ class SearchContext {
 
   // Search state (reset — but not reallocated — by reset_search()).
   std::vector<Val> assign_;
-  std::vector<int> reason_;             // var -> clause / kReason*
+  std::vector<int> reason_;             // var -> clause ref / kReason*
   std::vector<int> level_;              // var -> decision level
-  std::vector<std::vector<int>> watches_;  // literal -> watching clauses
+  std::vector<std::vector<Watcher>> watches_;  // literal -> watchers
   std::vector<Lit> trail_;
   std::size_t qhead_ = 0;
   std::size_t theory_head_ = 0;

@@ -67,6 +67,14 @@ struct SolveStats {
   /// Exchange clauses a worker attached into its own database after
   /// vetting (variable-range check; all-false clauses are skipped).
   std::uint64_t clauses_imported = 0;
+  /// Bytes held by the primary context's packed clause arena (gauge, like
+  /// learned_kept: the size at the last check boundary, not a cumulative
+  /// total). Native backend only.
+  std::uint64_t arena_bytes = 0;
+  /// Arena compactions performed, cumulative: mid-search GCs at
+  /// reduction points (tombstones reclaimed, refs rewritten) plus the
+  /// rebuild at check boundaries that had tombstones or tainted clauses.
+  std::uint64_t arena_compactions = 0;
 };
 
 [[nodiscard]] inline const char* to_string(SatResult r) {

@@ -1,10 +1,21 @@
-// Arbitrary-precision signed integers.
+// Arbitrary-precision signed integers with a small-value fast path.
 //
 // Gaussian elimination over the flow matrix (src/invariants) multiplies and
 // adds rational coefficients whose numerators/denominators can outgrow any
 // fixed-width type on large meshes, so exact verification needs
-// arbitrary-precision arithmetic. The representation is sign + little-endian
-// base-2^32 magnitude; all operations are value-semantic.
+// arbitrary-precision arithmetic. Almost all coefficients that actually occur
+// in flow encodings are tiny (±1, small queue capacities), so the
+// representation is dual:
+//
+//  - small form: the value lives inline in an int64 and `mag_` stays empty —
+//    arithmetic on small operands allocates nothing;
+//  - heap form: sign + little-endian base-2^32 magnitude, used only when the
+//    value does not fit in int64.
+//
+// The form is canonical: a value fits int64 if and only if it is stored in
+// the small form (every operation demotes results that fit back inline), so
+// the defaulted operator== stays a plain member comparison. All operations
+// are value-semantic.
 #pragma once
 
 #include <cstdint>
@@ -17,19 +28,22 @@ namespace advocat::util {
 class BigInt {
  public:
   BigInt() = default;
-  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor) numeric literal convenience
+  // NOLINTNEXTLINE(google-explicit-constructor) numeric literal convenience
+  BigInt(std::int64_t v) : negative_(v < 0), small_(v) {}
 
   /// Parses a base-10 string with optional leading '-'. Throws
   /// std::invalid_argument on malformed input.
   static BigInt from_string(const std::string& s);
 
-  [[nodiscard]] bool is_zero() const { return mag_.empty(); }
+  [[nodiscard]] bool is_zero() const { return mag_.empty() && small_ == 0; }
   [[nodiscard]] bool is_negative() const { return negative_; }
-  [[nodiscard]] bool is_one() const;
+  [[nodiscard]] bool is_one() const { return mag_.empty() && small_ == 1; }
 
   /// Value as int64 if it fits; throws std::overflow_error otherwise.
   [[nodiscard]] std::int64_t to_int64() const;
-  [[nodiscard]] bool fits_int64() const;
+  /// True exactly when the value is held in the inline small form (the
+  /// representation is canonical, so this is also "fits in int64").
+  [[nodiscard]] bool fits_int64() const { return mag_.empty(); }
 
   [[nodiscard]] std::string to_string() const;
 
@@ -55,11 +69,33 @@ class BigInt {
   static BigInt gcd(BigInt a, BigInt b);
 
   /// Number of base-2^32 limbs (0 for zero); used by tests and heuristics.
-  [[nodiscard]] std::size_t limb_count() const { return mag_.size(); }
+  /// Computed as-if for small-form values so the answer matches the heap
+  /// representation of the same value.
+  [[nodiscard]] std::size_t limb_count() const;
 
   [[nodiscard]] std::size_t hash() const;
 
+  /// Debug builds count every heap-magnitude materialization produced by
+  /// the arithmetic paths (the small-value fast path never touches it), so
+  /// tests can assert that small-coefficient pivoting stays allocation-free.
+  /// Always 0 in NDEBUG builds. The counter is process-global and relaxed;
+  /// it is a diagnostic, not a synchronization point.
+  static std::uint64_t debug_heap_allocations();
+  static void debug_reset_heap_allocations();
+
  private:
+  [[nodiscard]] bool is_small() const { return mag_.empty(); }
+  /// Materializes the base-2^32 magnitude (copy for heap form).
+  [[nodiscard]] std::vector<std::uint32_t> magnitude() const;
+  /// Builds a canonical BigInt from sign + magnitude, demoting to the small
+  /// form whenever the value fits int64.
+  static BigInt from_parts(bool negative, std::vector<std::uint32_t> mag);
+  static std::uint64_t abs_u64(std::int64_t v) {
+    // Negate in unsigned space: well-defined for INT64_MIN.
+    return v < 0 ? ~static_cast<std::uint64_t>(v) + 1
+                 : static_cast<std::uint64_t>(v);
+  }
+
   // Compares magnitudes only.
   static int cmp_mag(const std::vector<std::uint32_t>& a,
                      const std::vector<std::uint32_t>& b);
@@ -75,10 +111,11 @@ class BigInt {
       const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
   static void trim(std::vector<std::uint32_t>& mag);
 
-  void normalize();
-
-  bool negative_ = false;
-  std::vector<std::uint32_t> mag_;  // little-endian limbs, no trailing zeros
+  bool negative_ = false;           // small form keeps this == (small_ < 0)
+  std::int64_t small_ = 0;          // authoritative value when mag_ is empty
+  std::vector<std::uint32_t> mag_;  // little-endian limbs, no trailing zeros;
+                                    // non-empty only when the value does not
+                                    // fit int64 (small_ is then 0)
 };
 
 }  // namespace advocat::util

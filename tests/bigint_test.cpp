@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <iterator>
 #include <random>
+#include <string>
 
 #include "util/bigint.hpp"
 
@@ -127,6 +129,103 @@ TEST_P(BigIntRandomProperty, DivModRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BigIntRandomProperty,
                          ::testing::Values(1, 2, 3, 42, 12345));
+
+// ---- small/heap boundary fuzz -------------------------------------------
+//
+// The dual representation promotes to heap limbs exactly when a value
+// leaves [INT64_MIN, INT64_MAX] and demotes when a result re-enters it, so
+// the most error-prone inputs are the ones hugging ±2^63. Fuzz add / sub /
+// mul / compare / gcd with operands a few steps either side of the
+// boundary against a __int128 reference, and assert the canonical-form
+// invariant (fits_int64() ⟺ the value is in int64 range) on every result.
+
+std::string i128_to_string(__int128 v) {
+  if (v == 0) return "0";
+  const bool neg = v < 0;
+  unsigned __int128 mag =
+      neg ? ~static_cast<unsigned __int128>(v) + 1
+          : static_cast<unsigned __int128>(v);
+  std::string digits;
+  while (mag != 0) {
+    digits += static_cast<char>('0' + static_cast<int>(mag % 10));
+    mag /= 10;
+  }
+  if (neg) digits += '-';
+  return {digits.rbegin(), digits.rend()};
+}
+
+void expect_matches_i128(const BigInt& got, __int128 want,
+                         const char* what) {
+  EXPECT_EQ(got.to_string(), i128_to_string(want)) << what;
+  constexpr __int128 kMin = INT64_MIN;
+  constexpr __int128 kMax = INT64_MAX;
+  EXPECT_EQ(got.fits_int64(), want >= kMin && want <= kMax)
+      << what << ": canonical-form invariant broken for "
+      << i128_to_string(want);
+}
+
+TEST_P(BigIntRandomProperty, BoundaryFuzzAroundTwoPow63) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  // Anchors at the representation boundary and zero; offsets keep the
+  // operands within a few steps of an anchor.
+  const std::int64_t anchors[] = {INT64_MIN,     INT64_MIN + 1,
+                                  INT64_MIN / 2, -1,
+                                  0,             1,
+                                  INT64_MAX / 2, INT64_MAX - 1,
+                                  INT64_MAX};
+  std::uniform_int_distribution<std::size_t> pick(0, std::size(anchors) - 1);
+  std::uniform_int_distribution<std::int64_t> off(-3, 3);
+  auto draw = [&]() -> std::int64_t {
+    const std::int64_t base = anchors[pick(rng)];
+    const std::int64_t delta = off(rng);
+    // Saturate instead of overflowing the draw itself; the arithmetic
+    // under test still crosses the boundary because the anchors sit on it.
+    if (delta > 0 && base > INT64_MAX - delta) return INT64_MAX;
+    if (delta < 0 && base < INT64_MIN - delta) return INT64_MIN;
+    return base + delta;
+  };
+  for (int i = 0; i < 400; ++i) {
+    const std::int64_t x = draw();
+    const std::int64_t y = draw();
+    const __int128 xw = x;
+    const __int128 yw = y;
+    expect_matches_i128(BigInt(x) + BigInt(y), xw + yw, "add");
+    expect_matches_i128(BigInt(x) - BigInt(y), xw - yw, "sub");
+    expect_matches_i128(BigInt(x) * BigInt(y), xw * yw, "mul");
+    EXPECT_EQ(BigInt(x) < BigInt(y), x < y);
+    EXPECT_EQ(BigInt(x) == BigInt(y), x == y);
+    // gcd reference in unsigned space (|INT64_MIN| overflows int64).
+    unsigned __int128 a = xw < 0 ? static_cast<unsigned __int128>(-xw)
+                                 : static_cast<unsigned __int128>(xw);
+    unsigned __int128 b = yw < 0 ? static_cast<unsigned __int128>(-yw)
+                                 : static_cast<unsigned __int128>(yw);
+    while (b != 0) {
+      const unsigned __int128 t = a % b;
+      a = b;
+      b = t;
+    }
+    expect_matches_i128(BigInt::gcd(BigInt(x), BigInt(y)),
+                        static_cast<__int128>(a), "gcd");
+  }
+}
+
+TEST(BigInt, BoundaryPromoteDemoteRoundTrip) {
+  // Crossing the boundary and coming back must land in the small form.
+  const BigInt max(INT64_MAX);
+  const BigInt min(INT64_MIN);
+  const BigInt over = max + BigInt(1);    // 2^63: heap form
+  EXPECT_FALSE(over.fits_int64());
+  EXPECT_TRUE((over - BigInt(1)).fits_int64());
+  EXPECT_EQ(over - BigInt(1), max);
+  EXPECT_TRUE((-over).fits_int64());      // -2^63 == INT64_MIN: small form
+  EXPECT_EQ(-over, min);
+  EXPECT_FALSE((min - BigInt(1)).fits_int64());
+  EXPECT_EQ(min - BigInt(1) + BigInt(1), min);
+  EXPECT_EQ(min * BigInt(-1), over);
+  EXPECT_EQ(over / BigInt(-1), min);
+  EXPECT_EQ(min.abs(), over);
+  EXPECT_EQ(BigInt::gcd(min, min), over) << "gcd is the (positive) 2^63";
+}
 
 }  // namespace
 }  // namespace advocat::util
