@@ -113,7 +113,12 @@ class JsonLine {
                static_cast<std::size_t>(s.clauses_imported))
         .field("arena_bytes", static_cast<std::size_t>(s.arena_bytes))
         .field("arena_compactions",
-               static_cast<std::size_t>(s.arena_compactions));
+               static_cast<std::size_t>(s.arena_compactions))
+        .field("peak_arena_bytes",
+               static_cast<std::size_t>(s.peak_arena_bytes))
+        // "" after a definite verdict; a degraded run names its reason, so
+        // an Unknown in a benchmark log is never silent.
+        .field("stop_reason", util::to_string(s.stop_reason));
   }
 
   /// Prints `BENCH_JSON {...}` on its own line.

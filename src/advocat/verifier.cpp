@@ -1,6 +1,7 @@
 #include "advocat/verifier.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -9,6 +10,7 @@
 
 #include "smt/expr.hpp"
 #include "util/env.hpp"
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 #include "util/stopwatch.hpp"
 
@@ -34,6 +36,9 @@ std::string VerifyResult::to_string() const {
      << solve_stats.learned_clauses << " learned ("
      << solve_stats.learned_kept << " kept, " << solve_stats.deleted_clauses
      << " deleted)\n";
+  if (stop_reason != util::StopReason::kNone) {
+    os << "stopped: " << util::to_string(stop_reason) << "\n";
+  }
   return os.str();
 }
 
@@ -83,6 +88,7 @@ Verifier::Verifier(xmas::Network net, VerifyOptions options)
   }
   if (options_.threads != 0) solver_->set_threads(options_.threads);
   if (options_.deterministic) solver_->set_deterministic(true);
+  if (!options_.budget.unlimited()) solver_->set_budget(options_.budget);
   for (smt::ExprId e : enc_.structural) solver_->add(e);
   for (smt::ExprId e : enc_.definitions) solver_->add(e);
   solver_->add(enc_.deadlock);
@@ -194,10 +200,27 @@ VerifyResult Verifier::run_check(const CheckOverrides& o) {
   result.report.encode_seconds = construct_encode_seconds_;
 
   util::Stopwatch solve;
-  result.report.result = solver_->check_assuming(assumptions, timeout);
+  bool fault_unwound = false;
+  try {
+    result.report.result = solver_->check_assuming(assumptions, timeout);
+  } catch (const util::fault::FaultInjected&) {
+    // Safety net: an injected fault that escapes the solver's own
+    // handling (they all unwind at assumption-retracted safe points)
+    // degrades the check to Unknown; the session stays usable.
+    result.report.result = smt::SatResult::Unknown;
+    fault_unwound = true;
+  }
   result.report.solve_seconds = solve.seconds();
   result.report.solve_stats = solver_->solve_stats();
   result.solve_stats = result.report.solve_stats;
+  if (result.report.result == smt::SatResult::Unknown) {
+    // Every degraded verdict carries a reason — never a silent Unknown.
+    result.stop_reason =
+        fault_unwound ? util::StopReason::kFaultInjected
+        : result.solve_stats.stop_reason == util::StopReason::kNone
+            ? util::StopReason::kDegraded
+            : result.solve_stats.stop_reason;
+  }
   ++stats_.checks;
 
   if (result.report.result == smt::SatResult::Sat) {
@@ -225,6 +248,13 @@ VerifyResult Verifier::run_check(const CheckOverrides& o) {
 const smt::SolveStats& Verifier::solve_stats() const {
   return solver_->solve_stats();
 }
+
+void Verifier::set_budget(const util::ResourceBudget& budget) {
+  options_.budget = budget;
+  solver_->set_budget(budget);
+}
+
+void Verifier::cancel() { solver_->cancel(); }
 
 VerifyResult Verifier::check() { return run_check(CheckOverrides{}); }
 
@@ -325,7 +355,44 @@ smt::SatResult probe_from_scratch(const xmas::Network& net,
   result.solve_stats = r.solve_stats;
   result.analysis_ms += r.analysis_ms;
   result.diagnostics = std::max(result.diagnostics, r.diagnostics.size());
+  if (r.report.result == smt::SatResult::Unknown) {
+    result.stop_reason = util::combine(
+        result.stop_reason, r.stop_reason == util::StopReason::kNone
+                                ? util::StopReason::kDegraded
+                                : r.stop_reason);
+  }
   return r.report.result;
+}
+
+/// Overall-search deadline for a sizing run (QueueSizingOptions::budget).
+/// The discrete ceilings are per-probe and travel on the VerifyOptions.
+class SizingDeadline {
+ public:
+  explicit SizingDeadline(const util::ResourceBudget& b)
+      : active_(b.deadline_ms != 0),
+        at_(std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(b.deadline_ms)) {}
+  [[nodiscard]] bool expired() const {
+    return active_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+ private:
+  bool active_;
+  std::chrono::steady_clock::time_point at_;
+};
+
+/// Copies the sizing budget's per-probe ceilings onto the per-check
+/// verify budget wherever the caller left the latter unlimited; the
+/// overall deadline is the scheduler's, never the probe's.
+VerifyOptions with_probe_budget(const VerifyOptions& base,
+                                const util::ResourceBudget& sizing) {
+  VerifyOptions vo = base;
+  util::ResourceBudget& b = vo.budget;
+  if (b.max_conflicts == 0) b.max_conflicts = sizing.max_conflicts;
+  if (b.max_decisions == 0) b.max_decisions = sizing.max_decisions;
+  if (b.max_propagations == 0) b.max_propagations = sizing.max_propagations;
+  if (b.max_memory_bytes == 0) b.max_memory_bytes = sizing.max_memory_bytes;
+  return vo;
 }
 
 void add_stats(smt::SolveStats& into, const smt::SolveStats& s) {
@@ -341,6 +408,10 @@ void add_stats(smt::SolveStats& into, const smt::SolveStats& s) {
   into.farkas_explanations += s.farkas_explanations;
   into.clauses_exported += s.clauses_exported;
   into.clauses_imported += s.clauses_imported;
+  into.arena_compactions += s.arena_compactions;
+  into.arena_bytes = std::max(into.arena_bytes, s.arena_bytes);
+  into.peak_arena_bytes = std::max(into.peak_arena_bytes, s.peak_arena_bytes);
+  into.stop_reason = util::combine(into.stop_reason, s.stop_reason);
   into.threads = std::max(into.threads, s.threads);
 }
 
@@ -360,8 +431,9 @@ QueueSizingResult find_minimal_parallel(
   util::Stopwatch total;
   QueueSizingResult result;
   result.incremental = true;
+  const SizingDeadline deadline(options.budget);
 
-  VerifyOptions vo = options.verify;
+  VerifyOptions vo = with_probe_budget(options.verify, options.budget);
   vo.symbolic_capacities = true;
   const unsigned width = std::min(probe_threads, 16u);
   std::vector<std::unique_ptr<Verifier>> sessions;
@@ -379,6 +451,8 @@ QueueSizingResult find_minimal_parallel(
     for (std::size_t cap : caps) candidates.push_back(make_net(cap));
     std::vector<smt::SatResult> verdicts(caps.size(),
                                          smt::SatResult::Unknown);
+    std::vector<util::StopReason> reasons(caps.size(),
+                                          util::StopReason::kNone);
     std::vector<char> incompatible(caps.size(), 0);
     util::parallel_for_static(caps.size(), width, [&](std::size_t i) {
       Verifier& s = *sessions[i % width];
@@ -391,7 +465,15 @@ QueueSizingResult find_minimal_parallel(
            candidates[i].prims_of_kind(xmas::PrimKind::Queue)) {
         o.queue_capacities.emplace_back(qid, candidates[i].prim(qid).capacity);
       }
-      verdicts[i] = s.check_with(o).report.result;
+      const VerifyResult r = s.check_with(o);
+      verdicts[i] = r.report.result;
+      // Captured per probe (a session's own stop_reason only remembers
+      // its most recent check, which may be a later probe of this round).
+      if (verdicts[i] == smt::SatResult::Unknown) {
+        reasons[i] = r.stop_reason == util::StopReason::kNone
+                         ? util::StopReason::kDegraded
+                         : r.stop_reason;
+      }
     });
     for (std::size_t i = 0; i < caps.size(); ++i) {
       if (incompatible[i] != 0) {
@@ -402,7 +484,10 @@ QueueSizingResult find_minimal_parallel(
             probe_from_scratch(candidates[i], options.verify, result);
       }
       result.probes.emplace_back(caps[i], verdicts[i]);
-      if (verdicts[i] == smt::SatResult::Unknown) ++result.unknown_probes;
+      if (verdicts[i] == smt::SatResult::Unknown) {
+        ++result.unknown_probes;
+        result.stop_reason = util::combine(result.stop_reason, reasons[i]);
+      }
     }
     return verdicts;
   };
@@ -415,6 +500,14 @@ QueueSizingResult find_minimal_parallel(
   std::size_t cap = options.min_capacity;
   bool exhausted = false;
   while (hi == 0 && !exhausted) {
+    if (deadline.expired()) {
+      // Out of overall budget before a free capacity was found: stop
+      // launching probes. minimal_capacity stays 0 ("none proven"),
+      // which is sound, and the reason is on the result.
+      result.stop_reason =
+          util::combine(result.stop_reason, util::StopReason::kDeadline);
+      break;
+    }
     std::vector<std::size_t> rung;
     while (rung.size() < width) {
       rung.push_back(cap);
@@ -443,6 +536,13 @@ QueueSizingResult find_minimal_parallel(
     // every round.
     std::size_t lo = last_bad + 1;
     while (lo < hi) {
+      if (deadline.expired()) {
+        // hi is already a proven-free capacity; reporting it un-narrowed
+        // is sound, just possibly oversized — flagged by the reason.
+        result.stop_reason =
+            util::combine(result.stop_reason, util::StopReason::kDeadline);
+        break;
+      }
       const std::size_t span = hi - lo;
       const std::size_t k = std::min<std::size_t>(width, span);
       std::vector<std::size_t> mids;
@@ -493,12 +593,13 @@ QueueSizingResult find_minimal_queue_size(
   util::Stopwatch total;
   QueueSizingResult result;
   result.incremental = options.incremental;
+  const SizingDeadline deadline(options.budget);
 
   // The session is built once from the smallest instance; every probe then
   // binds the capacities the candidate network would have via assumptions.
   std::optional<Verifier> session;
   if (options.incremental) {
-    VerifyOptions vo = options.verify;
+    VerifyOptions vo = with_probe_budget(options.verify, options.budget);
     vo.symbolic_capacities = true;
     session.emplace(make_net(options.min_capacity), vo);
   }
@@ -516,6 +617,12 @@ QueueSizingResult find_minimal_queue_size(
         const VerifyResult r = session->check_with(o);
         verdict = r.report.result;
         result.solve_stats = r.solve_stats;
+        if (verdict == smt::SatResult::Unknown) {
+          result.stop_reason = util::combine(
+              result.stop_reason, r.stop_reason == util::StopReason::kNone
+                                      ? util::StopReason::kDegraded
+                                      : r.stop_reason);
+        }
       } else {
         // make_net changed more than capacities: probe this capacity the
         // slow, always-correct way.
@@ -539,6 +646,11 @@ QueueSizingResult find_minimal_queue_size(
   std::size_t step = options.min_capacity;
   std::size_t last_bad = options.min_capacity - 1;
   for (std::size_t cap = options.min_capacity; cap <= options.max_capacity;) {
+    if (deadline.expired()) {
+      result.stop_reason =
+          util::combine(result.stop_reason, util::StopReason::kDeadline);
+      break;
+    }
     if (probe(cap)) {
       hi = cap;
       break;
@@ -553,6 +665,12 @@ QueueSizingResult find_minimal_queue_size(
     // Binary search in (last_bad, hi].
     lo = last_bad + 1;
     while (lo < hi) {
+      if (deadline.expired()) {
+        // hi is proven free; stopping here is sound, just un-narrowed.
+        result.stop_reason =
+            util::combine(result.stop_reason, util::StopReason::kDeadline);
+        break;
+      }
       const std::size_t mid = lo + (hi - lo) / 2;
       if (probe(mid)) hi = mid;
       else lo = mid + 1;

@@ -24,6 +24,7 @@
 #include "deadlock/encoder.hpp"
 #include "invariants/generator.hpp"
 #include "smt/smtlib.hpp"
+#include "util/budget.hpp"
 #include "xmas/network.hpp"
 #include "xmas/typing.hpp"
 
@@ -67,6 +68,12 @@ struct VerifyOptions {
   /// cancellation). No effect on sequential checks, which are always
   /// deterministic.
   bool deterministic = false;
+  /// Per-check resource ceilings (deadline, conflicts, decisions,
+  /// propagations, memory — see util::ResourceBudget and
+  /// docs/ROBUSTNESS.md). Exhausting one degrades the check to Unknown
+  /// with the matching StopReason on VerifyResult; a default-constructed
+  /// budget (the default) imposes no limits.
+  util::ResourceBudget budget{};
 };
 
 struct VerifyResult {
@@ -88,6 +95,10 @@ struct VerifyResult {
   /// learned_kept > 0 after a check means later probes on the session
   /// start from those clauses instead of re-refuting shared substructure.
   smt::SolveStats solve_stats;
+
+  /// Why this check degraded to Unknown (kNone after a definite verdict).
+  /// Mirrors solve_stats.stop_reason; a degraded result is never silent.
+  util::StopReason stop_reason = util::StopReason::kNone;
 
   double typing_seconds = 0.0;
   double invariant_seconds = 0.0;
@@ -149,6 +160,14 @@ class Verifier {
   // std::optional).
   Verifier(const Verifier&) = delete;
   Verifier& operator=(const Verifier&) = delete;
+
+  /// Forwards util::ResourceBudget ceilings to the session's solver for
+  /// every subsequent check; a default-constructed budget clears them.
+  void set_budget(const util::ResourceBudget& budget);
+  /// Cancels the in-flight check from another thread: it returns Unknown
+  /// with StopReason::kCancelled at the solver's next cancellation point,
+  /// and the session stays fully reusable (the flag is one-shot).
+  void cancel();
 
   /// Re-solves the deadlock query under the session's base options.
   VerifyResult check();
@@ -248,6 +267,13 @@ struct QueueSizingOptions {
   /// therefore QueueSizingResult::probes — is deterministic for a fixed
   /// thread count; the verdict is thread-count-independent.
   unsigned probe_threads = 1;
+  /// Resource governance for the whole sizing run: deadline_ms bounds the
+  /// *overall* search wall clock (the scheduler stops launching probes
+  /// once it expires and reports kDeadline), while the discrete ceilings
+  /// (conflicts/decisions/propagations/memory) apply per probe via
+  /// verify.budget semantics. Partial results stay sound: a capacity is
+  /// only ever accepted on its own definite Unsat.
+  util::ResourceBudget budget{};
 };
 
 struct QueueSizingResult {
@@ -263,6 +289,10 @@ struct QueueSizingResult {
   /// still sound (a capacity is only accepted on a definite Unsat) but may
   /// be larger than the true minimum.
   std::size_t unknown_probes = 0;
+  /// Why the search degraded, combined over every Unknown probe and the
+  /// scheduler's own deadline (highest-priority reason wins; kNone when
+  /// every probe was definite and the search ran to completion).
+  util::StopReason stop_reason = util::StopReason::kNone;
   double seconds = 0.0;
   /// Final solver search effort (incremental path: session-cumulative
   /// totals over every probe; fallback path: the last one-shot check).

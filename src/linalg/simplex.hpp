@@ -117,6 +117,16 @@ class Simplex {
   /// later retract_to()/check() recovers.
   void set_tick(std::function<void()> tick) { tick_ = std::move(tick); }
 
+  /// Inline bytes held by the tableau pools (CSR entries, variable states,
+  /// bound trail). Feeds the solver's memory ceiling; BigInt limbs that
+  /// spill to the heap are gauged separately (util::BigInt
+  /// heap_bytes_in_use), so the two add without double counting the
+  /// inline representation.
+  [[nodiscard]] std::size_t pool_bytes() const {
+    return tab_.pool_size() * (sizeof(std::int32_t) + sizeof(Rational)) +
+           vars_.size() * sizeof(VarState) + trail_.size() * sizeof(TrailEntry);
+  }
+
  private:
   struct VarState {
     Rational beta;          // current value

@@ -23,9 +23,13 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <thread>
 #include <vector>
+
+#include "util/fault.hpp"
 
 namespace advocat::smt::native {
 
@@ -44,6 +48,18 @@ class ClauseExchange {
   /// Publishes a clause from worker `source`. Returns false (and counts a
   /// drop) when the shard is full.
   bool publish(const Lits& lits, unsigned source) {
+    if (util::fault::enabled()) {
+      // Fault sites act locally, never throw: the exchange is best-effort
+      // by design, so a stalled publisher (descheduled thread) or a forced
+      // drop (full shard) exercises paths that must already be correct.
+      if (util::fault::fire(util::fault::Site::kExchangeStall)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      if (util::fault::fire(util::fault::Site::kExchangeOverflow)) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
     Shard& sh = shards_[source % kShards];
     {
       std::lock_guard<std::mutex> lock(sh.mu);
@@ -65,6 +81,10 @@ class ClauseExchange {
   /// merely lost sharing, never unsoundness).
   void drain(Cursor& cursor, std::vector<Lits>& out,
              std::size_t skip_shard = kShards) {
+    if (util::fault::enabled() &&
+        util::fault::fire(util::fault::Site::kExchangeStall)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
     for (std::size_t s = 0; s < kShards; ++s) {
       if (s == skip_shard) continue;
       Shard& sh = shards_[s];

@@ -56,7 +56,9 @@
 #include "smt/audit.hpp"
 #include "smt/clause_exchange.hpp"
 #include "smt/search_context.hpp"
+#include "util/budget.hpp"
 #include "util/env.hpp"
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 
 namespace advocat::smt {
@@ -142,10 +144,23 @@ class NativeSolver final : public Solver {
                      unsigned timeout_ms) override {
     const SolveStats before = solve_stats();
     CheckJob job;
-    job.deadline_active = timeout_ms > 0;
-    if (job.deadline_active) {
-      job.deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    // The per-call timeout and the session budget's deadline compose as
+    // the tighter of the two; both surface as Unknown(kDeadline).
+    unsigned effective_ms = timeout_ms;
+    const unsigned budget_ms = budget().deadline_ms;
+    if (budget_ms != 0 && (effective_ms == 0 || budget_ms < effective_ms)) {
+      effective_ms = budget_ms;
     }
+    job.deadline_active = effective_ms > 0;
+    if (job.deadline_active) {
+      job.deadline = Clock::now() + std::chrono::milliseconds(effective_ms);
+    }
+    // Null budget pointer when the session has no ceilings: the search's
+    // cancellation point then pays one pointer test, and verdicts and
+    // statistics stay bit-identical to a build without governance.
+    job.budget = budget().unlimited() ? nullptr : &budget();
+    job.cancel = cancel_flag();
+    last_stop_ = util::StopReason::kNone;
     for (; translated_roots_ < roots_.size(); ++translated_roots_) {
       root_lits_.push_back(translate_bool(roots_[translated_roots_]));
     }
@@ -171,8 +186,16 @@ class NativeSolver final : public Solver {
       job.scoped_roots = &scoped_roots;
       job.assumption_lits = &assumption_lits;
       job.assumptions = &assumptions;
-      result = threads_ <= 1 ? adopt(*primary_, primary_->solve(job))
-                             : solve_parallel(job);
+      try {
+        result = threads_ <= 1 ? adopt(*primary_, primary_->solve(job))
+                               : solve_parallel(job);
+      } catch (const util::fault::FaultInjected&) {
+        // Safety net for injected faults delivered outside a solve() (the
+        // search catches its own); the session state is untouched at those
+        // points, so degrade to Unknown and stay usable.
+        result = SatResult::Unknown;
+        last_stop_ = util::StopReason::kFaultInjected;
+      }
     }
     refresh_stats();
     if (std::getenv("ADVOCAT_NATIVE_STATS") != nullptr) {
@@ -401,7 +424,19 @@ class NativeSolver final : public Solver {
     } else if (out == Outcome::Unsat && !ctx.core().empty()) {
       store_core(std::vector<ExprId>(ctx.core()));
     }
-    return from_outcome(out);
+    const SatResult r = from_outcome(out);
+    if (r == SatResult::Unknown) {
+      // A Budget outcome reaching adoption means a conflict ceiling ended
+      // the check; otherwise the context recorded why it stopped.
+      last_stop_ = util::combine(last_stop_,
+                                 out == Outcome::Budget
+                                     ? util::StopReason::kConflictBudget
+                                     : ctx.stop_reason());
+      if (last_stop_ == util::StopReason::kNone) {
+        last_stop_ = util::StopReason::kDegraded;
+      }
+    }
+    return r;
   }
 
   /// Session stats = the primary context's lifetime counters plus the
@@ -423,7 +458,12 @@ class NativeSolver final : public Solver {
     s.arena_compactions += extra_.arena_compactions;
     s.learned_kept = primary_->learned_live();
     s.threads = threads_;
-    // arena_bytes stays the primary's gauge (workers are ephemeral).
+    // arena_bytes stays the primary's gauge (workers are ephemeral), but
+    // the peak high-water mark covers every context that ever ran.
+    if (extra_.peak_arena_bytes > s.peak_arena_bytes) {
+      s.peak_arena_bytes = extra_.peak_arena_bytes;
+    }
+    s.stop_reason = last_stop_;
     mutable_stats() = s;
   }
 
@@ -440,6 +480,9 @@ class NativeSolver final : public Solver {
     extra_.clauses_exported += w.clauses_exported;
     extra_.clauses_imported += w.clauses_imported;
     extra_.arena_compactions += w.arena_compactions;
+    if (w.peak_arena_bytes > extra_.peak_arena_bytes) {
+      extra_.peak_arena_bytes = w.peak_arena_bytes;  // gauge: max, not sum
+    }
   }
 
   /// Harvests worker learning back into the primary context in worker
@@ -478,6 +521,7 @@ class NativeSolver final : public Solver {
     cfg.id = id;
     cfg.exchange = exchange;
     cfg.stop = stop;
+    cfg.is_worker = true;  // worker_kill fault site targets only these
     if (diversify && id > 0) {
       cfg.restart_base = kPortfolioRestartBase[id % 4];
       cfg.invert_default_phase = (id & 1) != 0;
@@ -541,6 +585,7 @@ class NativeSolver final : public Solver {
     }
     std::vector<CheckJob> jobs(tasks, job);
     std::vector<Outcome> outcomes(tasks, Outcome::Unknown);
+    std::vector<util::StopReason> reasons(tasks, util::StopReason::kNone);
     // parallel_for_static pins task i to pool worker i % width, and each
     // pool worker runs its tasks in order — so worker context i % width
     // is never shared between live tasks, and in determinism mode the
@@ -550,6 +595,11 @@ class NativeSolver final : public Solver {
       SearchContext& ctx = *workers[i % width];
       const Outcome out = ctx.solve(jobs[i]);
       outcomes[i] = out;
+      // Captured per task, right here: the same context runs several
+      // tasks, and reading ctx.stop_reason() after the join would only
+      // see each worker's *last* reason (losing, e.g., an injected
+      // worker kill that an uneventful later cube overwrote).
+      reasons[i] = ctx.stop_reason();
       if (stop_flag != nullptr) {
         // Early cancellation: a Sat decides the whole check in cube
         // mode; any definitive verdict decides it in portfolio mode.
@@ -609,6 +659,21 @@ class NativeSolver final : public Solver {
     if (verdict == SatResult::Sat) {
       store_model(Model(workers[decider % width]->model()));
     }
+    if (verdict == SatResult::Unknown) {
+      // Combine the reasons of every non-definite task (highest priority
+      // wins) so the degraded verdict is never silent.
+      util::StopReason why = util::StopReason::kNone;
+      for (std::size_t i = 0; i < tasks; ++i) {
+        if (outcomes[i] == Outcome::Sat || outcomes[i] == Outcome::Unsat) {
+          continue;
+        }
+        why = util::combine(why, outcomes[i] == Outcome::Budget
+                                     ? util::StopReason::kConflictBudget
+                                     : reasons[i]);
+      }
+      if (why == util::StopReason::kNone) why = util::StopReason::kDegraded;
+      last_stop_ = util::combine(last_stop_, why);
+    }
     if (audit_enabled() && xch != nullptr) {
       // All workers have joined: everything published this check is
       // visible, so vet the whole exchange before harvesting it back.
@@ -639,6 +704,9 @@ class NativeSolver final : public Solver {
   unsigned threads_ = 1;
   bool deterministic_ = false;
   bool portfolio_ = false;
+  // Why the in-flight check degraded (kNone while it is on track for a
+  // definite verdict); published to SolveStats by refresh_stats().
+  util::StopReason last_stop_ = util::StopReason::kNone;
 };
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include "smt/audit.hpp"
 #include "util/env.hpp"
+#include "util/fault.hpp"
 
 namespace advocat::smt::native {
 namespace {
@@ -101,17 +102,68 @@ SearchContext::SearchContext(const SharedProblem& shared, SearchConfig config)
 
 // ---------------------------------------------------------------- plumbing
 
-// The deadline (and, under parallel solving, the cross-worker stop flag)
-// is polled in *every* potentially long loop — boolean propagation,
+// The cooperative cancellation point. The deadline, the session-level
+// cancel() flag, the cross-worker stop flag, the propagation/memory
+// budgets, and deferred faults are all polled here — and bump_ops is
+// called from *every* potentially long loop: boolean propagation,
 // interval tightening, the entailed-atom rescan, value enumeration and
-// node expansion in branch-and-bound — so timeouts and cancellation are
-// honored promptly even on divergent flow systems whose interval fixpoint
-// walks bounds one unit at a time.
+// node expansion in branch-and-bound, and (through the tick hook) the
+// simplex pivot loop. Every governed unwind therefore originates from the
+// same program points a deadline can, so one proven exception-safety path
+// covers them all.
 void SearchContext::bump_ops() {
   if ((++ops_ & 0x3ff) != 0) return;
   if (deadline_active_ && Clock::now() > deadline_) throw Timeout{};
   if (cfg_.stop != nullptr && cfg_.stop->load(std::memory_order_relaxed)) {
     throw Cancelled{};
+  }
+  ++slow_polls_;
+  if (job_ != nullptr) {
+    if (job_->cancel != nullptr &&
+        job_->cancel->load(std::memory_order_relaxed)) {
+      throw util::Stop{util::StopReason::kCancelled};
+    }
+    if (job_->budget != nullptr) {
+      if (job_->budget->max_propagations != 0 &&
+          stats_.propagations - check_prop_base_ >=
+              job_->budget->max_propagations) {
+        throw util::Stop{util::StopReason::kPropagationBudget};
+      }
+      // The memory gauge walks a few pool sizes; poll it at 1/16 of the
+      // (already 1/1024) slow path.
+      if (job_->budget->max_memory_bytes != 0 && (slow_polls_ & 0xf) == 0) {
+        check_memory_ceiling();
+      }
+    }
+  }
+  if (util::fault::enabled()) {
+    if (util::fault::take_deferred()) throw util::fault::FaultInjected{};
+    if (cfg_.is_worker &&
+        util::fault::fire(util::fault::Site::kWorkerKill)) {
+      throw util::fault::FaultInjected{};
+    }
+  }
+}
+
+void SearchContext::check_search_budgets() const {
+  if (job_ == nullptr || job_->budget == nullptr) return;
+  if (job_->budget->max_conflicts != 0 &&
+      stats_.conflicts - check_conflict_base_ >= job_->budget->max_conflicts) {
+    throw util::Stop{util::StopReason::kConflictBudget};
+  }
+  if (job_->budget->max_decisions != 0 &&
+      stats_.decisions - check_decision_base_ >= job_->budget->max_decisions) {
+    throw util::Stop{util::StopReason::kDecisionBudget};
+  }
+}
+
+void SearchContext::check_memory_ceiling() {
+  const std::uint64_t arena = arena_.bytes();
+  if (arena > stats_.peak_arena_bytes) stats_.peak_arena_bytes = arena;
+  const std::uint64_t total = arena + util::BigInt::heap_bytes_in_use() +
+                              static_cast<std::uint64_t>(stx_.pool_bytes());
+  if (total >= job_->budget->max_memory_bytes) {
+    throw util::Stop{util::StopReason::kMemoryCeiling};
   }
 }
 
@@ -1039,6 +1091,10 @@ bool SearchContext::resolve_conflict(const Lit* conflict, std::size_t nconf,
     const bool ok = enqueue(learnt_[0], kReasonNone);
     (void)ok;  // unassigned: its level was above the backjump target
   } else {
+    // Fault site: each learned-clause allocation is one arena_alloc
+    // arrival. A scheduled failure is latched (defer) and thrown at the
+    // next bump_ops — never here, where the watch lists are mid-update.
+    util::fault::defer(util::fault::Site::kArenaAlloc);
     const ClauseRef lci = arena_.alloc(
         learnt_.data(), static_cast<std::uint32_t>(learnt_.size()),
         /*learned=*/true, tainted, /*prior=*/false, lbd, cla_inc_);
@@ -1206,6 +1262,11 @@ void SearchContext::reduce_db() {
 // rewritten through the forwarding map. Watch entries of tombstoned
 // clauses are dropped here instead of lazily.
 void SearchContext::compact_arena() {
+  // The arena is at a local maximum right before a compaction — fold it
+  // into the session peak so the gauge reflects mid-search high water,
+  // not just check boundaries.
+  const std::uint64_t now = arena_.bytes();
+  if (now > stats_.peak_arena_bytes) stats_.peak_arena_bytes = now;
   arena_.begin_compact();
   for (auto& ws : watches_) {
     std::size_t keep = 0;
@@ -1729,6 +1790,7 @@ Outcome SearchContext::run_check() {
         return finish_unsat();
       }
       maybe_restart_or_reduce();
+      check_search_budgets();
       if (job_->conflict_budget != 0 &&
           stats_.conflicts - check_conflict_base_ >= job_->conflict_budget) {
         collect_hot_vars(job_->hot_k);
@@ -1752,6 +1814,10 @@ Outcome SearchContext::run_check() {
       }
       continue;
     }
+    // Budgets are polled *before* pick_branch: the pick pops its variable
+    // off the VSIDS heap, and a throw between the pop and the enqueue
+    // would orphan an unassigned variable outside the heap.
+    check_search_budgets();
     const int v = pick_branch();
     if (v >= 0) {
       ++stats_.decisions;
@@ -1783,6 +1849,7 @@ Outcome SearchContext::run_check() {
       return finish_unsat();
     }
     maybe_restart_or_reduce();
+    check_search_budgets();
     if (job_->conflict_budget != 0 &&
         stats_.conflicts - check_conflict_base_ >= job_->conflict_budget) {
       collect_hot_vars(job_->hot_k);
@@ -1796,18 +1863,40 @@ Outcome SearchContext::solve(const CheckJob& job) {
   deadline_active_ = job.deadline_active;
   deadline_ = job.deadline;
   ops_ = 0;
+  slow_polls_ = 0;
   check_conflict_base_ = stats_.conflicts;
+  check_decision_base_ = stats_.decisions;
+  check_prop_base_ = stats_.propagations;
   units_base_ = learned_units_.size();
   hot_vars_.clear();
   core_.clear();
+  last_stop_ = util::StopReason::kNone;
   sync_problem();
   Outcome out = Outcome::Unknown;
+  // Every governed unwind — deadline, cancel, budget ceiling, injected
+  // fault — originates at a cancellation point (bump_ops / the simplex
+  // tick / the theory-check entry), so they all ride the same
+  // exception-safety path and leave the context reusable: the next
+  // run_check starts with reset_search().
   try {
     out = run_check();
   } catch (const Timeout&) {
     out = Outcome::Unknown;
+    last_stop_ = util::StopReason::kDeadline;
   } catch (const Cancelled&) {
     out = Outcome::Cancelled;
+    last_stop_ = util::StopReason::kCancelled;
+  } catch (const util::Stop& s) {
+    out = s.reason == util::StopReason::kCancelled ? Outcome::Cancelled
+                                                   : Outcome::Unknown;
+    last_stop_ = s.reason;
+  } catch (const util::fault::FaultInjected&) {
+    out = Outcome::Unknown;
+    last_stop_ = util::StopReason::kFaultInjected;
+  }
+  if (out == Outcome::Unknown && last_stop_ == util::StopReason::kNone) {
+    // Honest degradation (integer-open leaves): still never silent.
+    last_stop_ = util::StopReason::kDegraded;
   }
   if (audit_enabled()) {
     // A Timeout can unwind past the leaf search's pin pops and leave a
@@ -1816,6 +1905,9 @@ Outcome SearchContext::solve(const CheckJob& job) {
   }
   stats_.learned_kept = num_learned_live_;
   stats_.arena_bytes = arena_.bytes();  // gauge, like learned_kept
+  if (stats_.arena_bytes > stats_.peak_arena_bytes) {
+    stats_.peak_arena_bytes = stats_.arena_bytes;
+  }
   // Transient per-check state is reset on *every* exit path: a stale
   // deadline or job pointer leaking into the next solve would spuriously
   // time out an untimed check (or dangle into freed assumptions).

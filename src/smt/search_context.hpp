@@ -127,6 +127,7 @@ struct SearchConfig {
   bool reverse_atom_bias = false;       ///< seed gate vars (not atoms) hot
   ClauseExchange* exchange = nullptr;   ///< learned-clause exchange, or null
   const std::atomic<bool>* stop = nullptr;  ///< cooperative cancellation
+  bool is_worker = false;  ///< parallel worker (worker_kill fault target)
 };
 
 /// Verdict of one SearchContext::solve call. Budget and Cancelled are
@@ -145,8 +146,19 @@ struct CheckJob {
   const std::vector<Lit>* cube = nullptr;             ///< prefix, no core id
   bool deadline_active = false;
   Clock::time_point deadline{};
-  std::uint64_t conflict_budget = 0;  ///< 0 = unlimited
+  std::uint64_t conflict_budget = 0;  ///< 0 = unlimited (cube-probe internal)
   std::size_t hot_k = 0;              ///< hot vars to report at Budget exit
+  /// User-facing resource ceilings (conflicts/decisions/propagations/
+  /// memory), polled at the cooperative cancellation point. Null when the
+  /// session has no budget — the polls then cost one pointer test.
+  /// Distinct from conflict_budget above, which is the orchestration-
+  /// internal cube-probe budget (Outcome::Budget, not a degraded verdict).
+  const util::ResourceBudget* budget = nullptr;
+  /// Session-level cancel() flag (Solver::cancel_flag), observed at the
+  /// cancellation point with bounded latency. Distinct from
+  /// SearchConfig::stop, the intra-check worker stop used when a sibling
+  /// already decided the verdict.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 class Auditor;
@@ -169,6 +181,9 @@ class SearchContext {
   [[nodiscard]] const std::vector<ExprId>& core() const { return core_; }
   /// Cumulative counters over this context's lifetime.
   [[nodiscard]] const SolveStats& stats() const { return stats_; }
+  /// Why the last solve() on this context stopped early (kNone after a
+  /// definite Sat/Unsat); see util::StopReason.
+  [[nodiscard]] util::StopReason stop_reason() const { return last_stop_; }
   /// Learned clauses currently live in this context's arena.
   [[nodiscard]] std::size_t learned_live() const { return num_learned_live_; }
   /// Top-activity undecided variables collected at the last Budget exit.
@@ -198,6 +213,13 @@ class SearchContext {
 
   // ------------------------------------------------------------- plumbing
   void bump_ops();
+  // Conflict/decision ceilings of job_->budget; throws util::Stop when one
+  // is exhausted. Called where the counters advance (cheap compares).
+  void check_search_budgets() const;
+  // Memory ceiling: arena + BigInt heap + simplex pools vs the budget;
+  // polled at a coarse cadence from bump_ops. Also maintains the
+  // peak_arena_bytes gauge.
+  void check_memory_ceiling();
   [[nodiscard]] Val value_lit(Lit l) const;
   [[nodiscard]] int current_level() const;
   bool enqueue(Lit l, int reason);
@@ -378,10 +400,13 @@ class SearchContext {
   // Per-check transients (valid only inside solve(); reset on every exit).
   const CheckJob* job_ = nullptr;
   std::uint64_t check_conflict_base_ = 0;
+  std::uint64_t check_decision_base_ = 0;
+  std::uint64_t check_prop_base_ = 0;
   std::size_t units_base_ = 0;  // learned_units_ size at solve() entry
   bool deadline_active_ = false;
   Clock::time_point deadline_;
   std::uint64_t ops_ = 0;
+  std::uint64_t slow_polls_ = 0;  // bump_ops slow-path count (memory cadence)
 
   // Clause-exchange state.
   ClauseExchange::Cursor import_cursor_{};
@@ -389,6 +414,7 @@ class SearchContext {
 
   // Results of the last solve + lifetime counters.
   SolveStats stats_;
+  util::StopReason last_stop_ = util::StopReason::kNone;
   Model model_;
   std::vector<ExprId> core_;
   std::vector<int> hot_vars_;

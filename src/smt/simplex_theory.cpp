@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/fault.hpp"
+
 namespace advocat::smt {
 
 using linalg::Rational;
@@ -173,6 +175,13 @@ std::string SimplexTheory::audit() const {
 SimplexTheory::Result SimplexTheory::check(
     const std::vector<const theory::Row*>& rows,
     const std::vector<theory::Pin>& pins, bool integer_complete) {
+  // Injected theory timeout. Thrown before any bound is (re)asserted, so
+  // it unwinds exactly like a deadline tick fired on the first pivot —
+  // the host's established recovery path.
+  if (util::fault::enabled() &&
+      util::fault::fire(util::fault::Site::kTheoryTimeout)) {
+    throw util::fault::FaultInjected{};
+  }
   spx_.retract_to(0);
   Result out;
   std::vector<int> used;

@@ -61,6 +61,9 @@ class SimplexTheory {
   /// Deadline poll forwarded to every pivot (may throw; see Simplex).
   void set_tick(std::function<void()> tick) { spx_.set_tick(std::move(tick)); }
 
+  /// Inline tableau pool bytes (memory-ceiling input; see Simplex).
+  [[nodiscard]] std::size_t pool_bytes() const { return spx_.pool_bytes(); }
+
   /// Deep self-audit: slack interning consistency (canonical-sign
   /// uniqueness — one slack per canonical form, row cache in agreement
   /// with the canonical index) plus the underlying tableau's own audit.

@@ -182,6 +182,12 @@ class RecordingSolver final : public Solver {
 
   void set_deterministic(bool on) override { inner_->set_deterministic(on); }
 
+  void set_budget(const util::ResourceBudget& budget) override {
+    inner_->set_budget(budget);
+  }
+
+  void cancel() override { inner_->cancel(); }
+
   [[nodiscard]] const SolveStats& solve_stats() const override {
     return inner_->solve_stats();
   }

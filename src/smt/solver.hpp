@@ -16,6 +16,7 @@
 // instead of a rebuild of the whole pipeline.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "smt/expr.hpp"
+#include "util/budget.hpp"
 
 namespace advocat::smt {
 
@@ -75,6 +77,14 @@ struct SolveStats {
   /// reduction points (tombstones reclaimed, refs rewritten) plus the
   /// rebuild at check boundaries that had tombstones or tainted clauses.
   std::uint64_t arena_compactions = 0;
+  /// Why the most recent check stopped early. kNone after a definite
+  /// (Sat/Unsat) verdict; every Unknown carries a non-kNone reason — a
+  /// degraded result is never silent (see docs/ROBUSTNESS.md).
+  util::StopReason stop_reason = util::StopReason::kNone;
+  /// High-water mark of arena_bytes across the session (gauge; native
+  /// backend only). The live value can shrink at compactions, so the peak
+  /// is what the memory ceiling and capacity planning care about.
+  std::uint64_t peak_arena_bytes = 0;
 };
 
 [[nodiscard]] inline const char* to_string(SatResult r) {
@@ -134,6 +144,25 @@ class Solver {
   /// No-op on backends without parallel search.
   virtual void set_deterministic(bool on) { (void)on; }
 
+  /// Installs per-check resource ceilings (see util::ResourceBudget) for
+  /// every subsequent check on this session; a default-constructed budget
+  /// clears them. Exhausting any ceiling returns Unknown with the matching
+  /// StopReason on solve_stats() — state stays consistent and the session
+  /// remains usable, exactly like a timeout. The native backend enforces
+  /// all fields; Z3 maps deadline/conflicts/propagations/memory onto its
+  /// timeout/rlimit/max_memory parameters (best effort, same taxonomy).
+  virtual void set_budget(const util::ResourceBudget& budget) {
+    budget_ = budget;
+  }
+  [[nodiscard]] const util::ResourceBudget& budget() const { return budget_; }
+
+  /// Asynchronous cancellation: may be called from another thread while a
+  /// check is in flight; the check returns Unknown(kCancelled) at its next
+  /// cancellation point (bounded latency). The flag is one-shot — it is
+  /// re-armed (cleared) when the *next* check starts, so a cancelled
+  /// session stays fully reusable.
+  virtual void cancel() { cancel_.store(true, std::memory_order_relaxed); }
+
   /// Checks all active assertions; `timeout_ms` 0 means no limit.
   SatResult check(unsigned timeout_ms = 0);
   /// Checks all active assertions conjoined with `assumptions`, which are
@@ -191,6 +220,11 @@ class Solver {
   /// Backends report the failed-assumption subset of an Unsat
   /// check_assuming() here; the shared check plumbing clears it first.
   void store_core(std::vector<ExprId> core) { core_ = std::move(core); }
+  /// The live cancellation flag backends poll during a check. The shared
+  /// check plumbing re-arms it at every check entry.
+  [[nodiscard]] const std::atomic<bool>* cancel_flag() const {
+    return &cancel_;
+  }
 
  private:
   Model model_;
@@ -198,6 +232,8 @@ class Solver {
   std::size_t num_checks_ = 0;
   SolveStats stats_;
   std::vector<ExprId> core_;
+  util::ResourceBudget budget_;
+  std::atomic<bool> cancel_{false};
 };
 
 /// Selects the solver implementation behind make_solver().

@@ -2,12 +2,15 @@
 #include <z3++.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 
 #include "smt/solver.hpp"
+#include "util/budget.hpp"
 
 namespace advocat::smt {
 
@@ -35,14 +38,57 @@ class Z3Solver final : public Solver {
 
   [[nodiscard]] std::size_t num_scopes() const override { return num_scopes_; }
 
+  /// Asynchronous cancellation: raises the base flag (for the StopReason
+  /// mapping) and interrupts the Z3 context, which aborts the in-flight
+  /// check at its next internal poll. Z3 clears the interrupt at the start
+  /// of the next query, matching the one-shot contract.
+  void cancel() override {
+    Solver::cancel();
+    cancel_seen_.store(true, std::memory_order_relaxed);
+    try {
+      ctx_.interrupt();
+    } catch (const z3::exception&) {
+      // Nothing in flight to interrupt; the flag alone is enough.
+    }
+  }
+
  protected:
   SatResult do_check(const std::vector<ExprId>& assumptions,
                      unsigned timeout_ms) override {
-    // Z3 parameters persist on the solver object, so a timeout set for one
+    cancel_seen_.store(false, std::memory_order_relaxed);
+    // Z3 parameters persist on the solver object, so a limit set for one
     // check of the session must be cleared for the next (0 = no limit is
-    // Z3's UINT_MAX default).
+    // Z3's UINT_MAX default). The session budget composes with the
+    // per-call timeout as the tighter of the two, and the discrete
+    // ceilings map best-effort onto Z3's abstract rlimit / max_memory —
+    // both backends then degrade through the same StopReason taxonomy
+    // even though Z3's counters are not exactly ours.
+    const util::ResourceBudget& b = budget();
+    unsigned effective_ms = timeout_ms;
+    if (b.deadline_ms != 0 &&
+        (effective_ms == 0 || b.deadline_ms < effective_ms)) {
+      effective_ms = b.deadline_ms;
+    }
     z3::params p(ctx_);
-    p.set("timeout", timeout_ms > 0 ? timeout_ms : 4294967295u);
+    p.set("timeout", effective_ms > 0 ? effective_ms : 4294967295u);
+    // rlimit: Z3's abstract resource counter ticks roughly per
+    // propagation; a conflict costs orders of magnitude more. Scale the
+    // conflict/decision ceilings accordingly and take the tightest.
+    std::uint64_t rlimit = 0;
+    auto tighten = [&rlimit](std::uint64_t v) {
+      if (v != 0 && (rlimit == 0 || v < rlimit)) rlimit = v;
+    };
+    tighten(b.max_conflicts == 0 ? 0 : b.max_conflicts * 1000);
+    tighten(b.max_decisions == 0 ? 0 : b.max_decisions * 1000);
+    tighten(b.max_propagations);
+    p.set("rlimit", static_cast<unsigned>(
+                        std::min<std::uint64_t>(rlimit, 4294967295u)));
+    if (b.max_memory_bytes != 0) {
+      const std::uint64_t mb = std::max<std::uint64_t>(
+          1, b.max_memory_bytes >> 20);
+      p.set("max_memory", static_cast<unsigned>(
+                              std::min<std::uint64_t>(mb, 4294967295u)));
+    }
     solver_.set(p);
 
     z3::check_result r;
@@ -60,14 +106,64 @@ class Z3Solver final : public Solver {
     switch (r) {
       case z3::sat: {
         extract_model();
+        mutable_stats().stop_reason = util::StopReason::kNone;
         return SatResult::Sat;
       }
-      case z3::unsat: return SatResult::Unsat;
-      default: return SatResult::Unknown;
+      case z3::unsat:
+        mutable_stats().stop_reason = util::StopReason::kNone;
+        return SatResult::Unsat;
+      default:
+        mutable_stats().stop_reason = map_unknown_reason(effective_ms);
+        return SatResult::Unknown;
     }
   }
 
  private:
+  /// Classifies an Unknown via z3::solver::reason_unknown() so both
+  /// backends degrade through the same StopReason taxonomy. Z3's strings
+  /// vary across versions ("timeout", "canceled", "max. resource limit
+  /// exceeded", "max. memory exceeded", "(incomplete ...)"), so the match
+  /// is substring-based, with our own cancel flag disambiguating
+  /// "canceled" (which Z3 also uses for timeouts).
+  util::StopReason map_unknown_reason(unsigned effective_ms) {
+    std::string why;
+    try {
+      why = solver_.reason_unknown();
+    } catch (const z3::exception&) {
+      // fall through to the generic mapping
+    }
+    for (char& c : why) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    const auto has = [&why](const char* s) {
+      return why.find(s) != std::string::npos;
+    };
+    if (cancel_seen_.load(std::memory_order_relaxed) &&
+        (has("cancel") || has("interrupt") || why.empty())) {
+      return util::StopReason::kCancelled;
+    }
+    if (has("memory")) return util::StopReason::kMemoryCeiling;
+    if (has("resource") || has("rlimit")) {
+      // Which ceiling produced the rlimit is our own bookkeeping: report
+      // the tightest field the user actually set.
+      const util::ResourceBudget& b = budget();
+      if (b.max_conflicts != 0) return util::StopReason::kConflictBudget;
+      if (b.max_decisions != 0) return util::StopReason::kDecisionBudget;
+      if (b.max_propagations != 0) {
+        return util::StopReason::kPropagationBudget;
+      }
+      return util::StopReason::kConflictBudget;
+    }
+    if (has("timeout") || has("cancel")) {
+      return util::StopReason::kDeadline;
+    }
+    if (effective_ms != 0 && why.empty()) {
+      // Old libz3 builds report an empty reason for a timed-out check.
+      return util::StopReason::kDeadline;
+    }
+    return util::StopReason::kDegraded;
+  }
+
   z3::expr translate(ExprId id) {
     auto it = cache_.find(id);
     if (it != cache_.end()) return it->second;
@@ -194,6 +290,9 @@ class Z3Solver final : public Solver {
   z3::context ctx_;
   z3::solver solver_;
   std::size_t num_scopes_ = 0;
+  // Whether cancel() fired during the in-flight check — distinguishes a
+  // user interrupt from a timeout (Z3 reports both as "canceled").
+  std::atomic<bool> cancel_seen_{false};
   // Translation cache. z3::expr handles are owned by ctx_, not by the
   // solver's assertion stack, so cached terms stay valid across pop().
   std::unordered_map<ExprId, z3::expr> cache_;

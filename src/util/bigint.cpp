@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
+#include <utility>
+
+#include "util/fault.hpp"
 
 namespace advocat::util {
 
@@ -17,7 +20,64 @@ constexpr std::uint64_t kInt64MinMag = 1ull << 63;
 #ifndef NDEBUG
 std::atomic<std::uint64_t> g_heap_allocations{0};
 #endif
+
+// Live heap-magnitude bytes across all BigInts (feeds the memory ceiling).
+std::atomic<std::uint64_t> g_heap_bytes{0};
+
+inline std::uint64_t mag_bytes(const std::vector<std::uint32_t>& mag) {
+  return static_cast<std::uint64_t>(mag.size()) * sizeof(std::uint32_t);
+}
 }  // namespace
+
+BigInt::BigInt(const BigInt& o)
+    : negative_(o.negative_), small_(o.small_), mag_(o.mag_) {
+  if (!mag_.empty()) {
+    g_heap_bytes.fetch_add(mag_bytes(mag_), std::memory_order_relaxed);
+  }
+}
+
+BigInt::BigInt(BigInt&& o) noexcept
+    : negative_(o.negative_), small_(o.small_), mag_(std::move(o.mag_)) {
+  // Ownership of the counted bytes moves with the limbs; clear the source
+  // (a moved-from vector's state is unspecified) so its destructor cannot
+  // double-subtract.
+  o.mag_.clear();
+}
+
+BigInt& BigInt::operator=(const BigInt& o) {
+  if (this == &o) return *this;
+  const std::uint64_t old_bytes = mag_bytes(mag_);
+  negative_ = o.negative_;
+  small_ = o.small_;
+  mag_ = o.mag_;
+  const std::uint64_t new_bytes = mag_bytes(mag_);
+  if (new_bytes != old_bytes) {
+    g_heap_bytes.fetch_add(new_bytes - old_bytes, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+BigInt& BigInt::operator=(BigInt&& o) noexcept {
+  if (this == &o) return *this;
+  if (!mag_.empty()) {
+    g_heap_bytes.fetch_sub(mag_bytes(mag_), std::memory_order_relaxed);
+  }
+  negative_ = o.negative_;
+  small_ = o.small_;
+  mag_ = std::move(o.mag_);
+  o.mag_.clear();
+  return *this;
+}
+
+BigInt::~BigInt() {
+  if (!mag_.empty()) {
+    g_heap_bytes.fetch_sub(mag_bytes(mag_), std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t BigInt::heap_bytes_in_use() {
+  return g_heap_bytes.load(std::memory_order_relaxed);
+}
 
 std::uint64_t BigInt::debug_heap_allocations() {
 #ifndef NDEBUG
@@ -61,6 +121,11 @@ BigInt BigInt::from_parts(bool negative, std::vector<std::uint32_t> mag) {
   }
   r.negative_ = negative;
   r.mag_ = std::move(mag);
+  g_heap_bytes.fetch_add(mag_bytes(r.mag_), std::memory_order_relaxed);
+  // Latched (never thrown here): a mid-expression unwind could leave a
+  // caller's row half-combined, so delivery waits for the solver's
+  // cooperative cancellation point.
+  fault::defer(fault::Site::kBigIntAlloc);
 #ifndef NDEBUG
   g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
 #endif

@@ -31,6 +31,15 @@ class BigInt {
   // NOLINTNEXTLINE(google-explicit-constructor) numeric literal convenience
   BigInt(std::int64_t v) : negative_(v < 0), small_(v) {}
 
+  // Rule of five: the special members exist only to keep the process-wide
+  // heap-bytes gauge (heap_bytes_in_use) exact. Small-form values pay one
+  // predictable `mag_.empty()` branch and never touch the gauge.
+  BigInt(const BigInt& o);
+  BigInt(BigInt&& o) noexcept;
+  BigInt& operator=(const BigInt& o);
+  BigInt& operator=(BigInt&& o) noexcept;
+  ~BigInt();
+
   /// Parses a base-10 string with optional leading '-'. Throws
   /// std::invalid_argument on malformed input.
   static BigInt from_string(const std::string& s);
@@ -82,6 +91,13 @@ class BigInt {
   /// it is a diagnostic, not a synchronization point.
   static std::uint64_t debug_heap_allocations();
   static void debug_reset_heap_allocations();
+
+  /// Live bytes held by heap-form magnitudes across every BigInt in the
+  /// process, maintained in all build types (it feeds the solver's memory
+  /// ceiling, see util::ResourceBudget). Relaxed process-global gauge:
+  /// exact when read quiescently, monotonic-consistent enough for a
+  /// ceiling check when read concurrently.
+  static std::uint64_t heap_bytes_in_use();
 
  private:
   [[nodiscard]] bool is_small() const { return mag_.empty(); }

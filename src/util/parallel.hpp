@@ -7,6 +7,7 @@
 // problem state trivially immutable while workers run.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <exception>
 #include <functional>
@@ -60,6 +61,12 @@ inline void parallel_for(std::size_t n, unsigned threads,
 /// processes its tasks in increasing order — the schedule (not just the
 /// result) is a pure function of (n, threads), which is what the solver's
 /// determinism mode needs for reproducible per-worker statistics.
+///
+/// Error semantics match parallel_for: every worker is joined, exactly one
+/// exception (the first captured) is rethrown on the caller, and workers
+/// stop picking up new tasks once any task has thrown. The early stop
+/// cannot perturb determinism mode because solver tasks never throw — a
+/// worker's SearchContext::solve catches every governed unwind internally.
 inline void parallel_for_static(std::size_t n, unsigned threads,
                                 const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
@@ -70,13 +77,18 @@ inline void parallel_for_static(std::size_t n, unsigned threads,
   const std::size_t width = std::min<std::size_t>(threads, n);
   std::mutex mu;
   std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
   std::vector<std::thread> pool;
   pool.reserve(width);
   for (std::size_t t = 0; t < width; ++t) {
     pool.emplace_back([&, t] {
       try {
-        for (std::size_t i = t; i < n; i += width) fn(i);
+        for (std::size_t i = t; i < n; i += width) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          fn(i);
+        }
       } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(mu);
         if (!first_error) first_error = std::current_exception();
       }

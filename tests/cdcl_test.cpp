@@ -6,16 +6,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <functional>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "backend_fixture.hpp"
 #include "smt/eval.hpp"
 #include "smt/expr.hpp"
 #include "smt/solver.hpp"
+#include "util/budget.hpp"
 #include "util/stopwatch.hpp"
 
 namespace advocat::smt {
@@ -468,6 +471,112 @@ TEST(Cdcl, TimedOutCheckDoesNotLeakDeadlineIntoNextCheck) {
   // Same session, no timeout: must run to the definite verdict. With the
   // stale 1ms deadline this returns Unknown almost immediately.
   EXPECT_EQ(solver->check(/*timeout_ms=*/0), SatResult::Unsat);
+}
+
+TEST(Cdcl, EveryBudgetKindDegradesWithItsOwnReasonAndClearsCleanly) {
+  // The PR6 deadline-leak regression, generalized to every budget kind:
+  // a check stopped by any ceiling answers Unknown with the matching
+  // StopReason, and clearing the budget re-arms the same session — no
+  // ceiling may leak into the follow-up check.
+  struct Case {
+    const char* name;
+    util::ResourceBudget budget;
+    util::StopReason reason;
+  };
+  const Case cases[] = {
+      {"deadline", {.deadline_ms = 1}, util::StopReason::kDeadline},
+      {"conflicts", {.max_conflicts = 1}, util::StopReason::kConflictBudget},
+      {"decisions", {.max_decisions = 1}, util::StopReason::kDecisionBudget},
+      {"propagations",
+       {.max_propagations = 1},
+       util::StopReason::kPropagationBudget},
+      {"memory", {.max_memory_bytes = 1}, util::StopReason::kMemoryCeiling},
+  };
+  for (const Case& c : cases) {
+    ExprFactory f;
+    auto solver = make_solver(f, Backend::Native);
+    for (ExprId cl : pigeonhole(f, 9, 8)) solver->add(cl);
+    solver->set_budget(c.budget);
+    ASSERT_EQ(solver->check(), SatResult::Unknown)
+        << "PHP(9,8) must not fit inside the tight " << c.name << " budget";
+    EXPECT_EQ(solver->solve_stats().stop_reason, c.reason) << c.name;
+    // Budget cleared, same live session: the definite verdict comes back
+    // and the stats no longer carry a reason.
+    solver->set_budget({});
+    EXPECT_EQ(solver->check(), SatResult::Unsat) << c.name << " budget leaked";
+    EXPECT_EQ(solver->solve_stats().stop_reason, util::StopReason::kNone)
+        << c.name;
+  }
+}
+
+TEST(Cdcl, CrossThreadCancelInterruptsAndReArms) {
+  // cancel() from another thread must stop an in-flight check promptly
+  // with Unknown(cancelled), and — like the budget kinds above — must not
+  // leak into the next check on the same session.
+  ExprFactory f;
+  auto solver = make_solver(f, Backend::Native);
+  for (ExprId c : pigeonhole(f, 11, 10)) solver->add(c);
+  util::Stopwatch watch;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    solver->cancel();
+  });
+  const SatResult r = solver->check();
+  canceller.join();
+  EXPECT_EQ(r, SatResult::Unknown);
+  EXPECT_EQ(solver->solve_stats().stop_reason, util::StopReason::kCancelled);
+  EXPECT_LT(watch.seconds(), 5.0) << "cancel() not observed promptly";
+  // The cancel flag re-arms per check: the follow-up must run for its own
+  // deadline (a leaked flag would return Unknown(cancelled) instantly).
+  util::Stopwatch again;
+  EXPECT_EQ(solver->check(/*timeout_ms=*/50), SatResult::Unknown);
+  EXPECT_EQ(solver->solve_stats().stop_reason, util::StopReason::kDeadline)
+      << "stale cancellation leaked into the next check";
+  EXPECT_GT(again.millis(), 10.0)
+      << "follow-up check died instantly — cancel flag leaked";
+}
+
+TEST(Cdcl, TightBudgetDifferentialOutcomesAcrossBackends) {
+  // Both backends under the same tight discrete budget: definite verdicts
+  // must agree, every Unknown must carry a non-empty StopReason, and the
+  // native determinism twins must stay in lockstep even while degrading.
+  const bool with_z3 = backend_available(Backend::Z3);
+  std::mt19937_64 master(20260809);
+  for (int round = 0; round < 24; ++round) {
+    std::mt19937_64 rng(master());
+    ExprFactory f;
+    const int pigeons = std::uniform_int_distribution<int>(4, 7)(rng);
+    const auto clauses = pigeonhole(f, pigeons, pigeons - 1);
+    util::ResourceBudget budget;
+    budget.max_conflicts = std::uniform_int_distribution<std::uint64_t>(
+        1, 40)(rng);
+    std::vector<std::unique_ptr<Solver>> solvers;
+    solvers.push_back(make_solver(f, Backend::Native));
+    solvers.push_back(make_solver(f, Backend::Native));
+    if (with_z3) solvers.push_back(make_solver(f, Backend::Z3));
+    std::vector<SatResult> verdicts;
+    for (auto& s : solvers) {
+      for (ExprId c : clauses) s->add(c);
+      s->set_budget(budget);
+      verdicts.push_back(s->check());
+    }
+    // Native twins: identical verdict AND identical stop reason — the
+    // budget cut must be deterministic, not timing-dependent.
+    ASSERT_EQ(verdicts[0], verdicts[1]) << "round " << round;
+    EXPECT_EQ(solvers[0]->solve_stats().stop_reason,
+              solvers[1]->solve_stats().stop_reason)
+        << "round " << round;
+    for (std::size_t i = 0; i < solvers.size(); ++i) {
+      if (verdicts[i] == SatResult::Unknown) {
+        EXPECT_NE(solvers[i]->solve_stats().stop_reason,
+                  util::StopReason::kNone)
+            << "silent budgeted Unknown, backend " << i << " round " << round;
+      } else {
+        EXPECT_EQ(verdicts[i], SatResult::Unsat)
+            << "backend " << i << " round " << round;
+      }
+    }
+  }
 }
 
 }  // namespace

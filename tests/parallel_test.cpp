@@ -188,6 +188,47 @@ TEST(ParallelFor, FirstExceptionPropagates) {
                std::runtime_error);
 }
 
+TEST(ParallelFor, ManyThrowingCellsJoinAllAndRethrowExactlyOne) {
+  // The fig4 --position-threads sweep regression: several cells throwing
+  // concurrently must produce exactly ONE rethrown exception on the
+  // caller, after every worker joined — not a std::terminate, not a leaked
+  // thread, not a second in-flight exception. Every entered task must also
+  // leave (normally or by throw) before the helper returns; remaining
+  // tasks may be skipped (early stop) but never half-run.
+  for (const bool use_static : {false, true}) {
+    std::atomic<int> entered{0};
+    std::atomic<int> exited{0};
+    const auto cell = [&](std::size_t i) {
+      entered.fetch_add(1);
+      struct Leave {
+        std::atomic<int>& n;
+        ~Leave() { n.fetch_add(1); }
+      } leave{exited};
+      if (i % 3 == 0) {  // 22 of 64 cells throw
+        throw std::runtime_error("cell " + std::to_string(i));
+      }
+    };
+    int caught = 0;
+    try {
+      if (use_static) {
+        util::parallel_for_static(64, 8, cell);
+      } else {
+        util::parallel_for(64, 8, cell);
+      }
+    } catch (const std::runtime_error& e) {
+      ++caught;
+      EXPECT_EQ(std::string(e.what()).rfind("cell ", 0), 0u) << e.what();
+    }
+    EXPECT_EQ(caught, 1) << (use_static ? "static" : "dynamic");
+    // All workers joined: every task that started also finished, and at
+    // least one throwing cell ran.
+    EXPECT_EQ(entered.load(), exited.load())
+        << (use_static ? "static" : "dynamic");
+    EXPECT_GE(entered.load(), 1);
+    EXPECT_LE(entered.load(), 64);
+  }
+}
+
 // -------------------------------------------------------- clause exchange
 
 TEST(ClauseExchange, DrainSeesEachClauseOnceAndSkipsOwnShard) {
