@@ -35,6 +35,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "advocat/verifier.hpp"
@@ -50,8 +53,44 @@ namespace {
 unsigned g_threads = 1;
 unsigned g_position_threads = 1;
 
+/// Per-cell certificate sink: accumulates proof cost for the BENCH_JSON
+/// line and, when ADVOCAT_PROOF_DIR is set (the CI certification step),
+/// serializes every refutation of the sizing ladder so the standalone
+/// advocat-check binary can revalidate them. Thread-safe because parallel
+/// capacity probes share one cell's sink.
+class CellProofSink : public smt::ProofSink {
+ public:
+  explicit CellProofSink(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  void on_unsat_certificate(const smt::Certificate& cert) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+    if (!cert.complete) ++incomplete_;
+    bytes_ += cert.proof_bytes;
+    ms_ += cert.proof_ms;
+    if (!prefix_.empty()) {
+      std::ofstream out(prefix_ + std::to_string(count_) + ".proof");
+      out << cert.text;
+    }
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] std::size_t incomplete() const { return incomplete_; }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] double ms() const { return ms_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::string prefix_;
+  std::size_t count_ = 0;
+  std::size_t incomplete_ = 0;
+  std::size_t bytes_ = 0;
+  double ms_ = 0.0;
+};
+
 core::QueueSizingResult size_run(int k, int dir_node, bool incremental,
-                                 smt::Backend backend) {
+                                 smt::Backend backend,
+                                 smt::ProofSink* sink = nullptr) {
   auto make = [k, dir_node](std::size_t cap) {
     coh::MiAbstractConfig config;
     config.width = k;
@@ -65,6 +104,7 @@ core::QueueSizingResult size_run(int k, int dir_node, bool incremental,
   options.max_capacity = 256;
   options.incremental = incremental;
   options.verify.backend = backend;
+  options.verify.proof_sink = sink;
   // Parallel probes only on the incremental run; the re-encode reference
   // stays sequential so its timing is the single-thread baseline.
   if (incremental) options.probe_threads = g_threads;
@@ -85,6 +125,10 @@ namespace {
 struct CellResult {
   core::QueueSizingResult inc;
   core::QueueSizingResult re;
+  std::size_t proofs = 0;
+  std::size_t proofs_incomplete = 0;
+  std::size_t proof_bytes = 0;
+  double proof_ms = 0.0;
 };
 
 }  // namespace
@@ -121,11 +165,26 @@ int main(int argc, char** argv) {
       // (in parallel when asked), then print in grid order so the output
       // is byte-identical to the serial sweep.
       std::vector<CellResult> cells(static_cast<std::size_t>(k) * k);
+      const char* proof_dir = std::getenv("ADVOCAT_PROOF_DIR");
       util::parallel_for(
-          cells.size(), g_position_threads, [&](std::size_t i) {
+          cells.size(), g_position_threads, [&, proof_dir](std::size_t i) {
             const int dir = static_cast<int>(i);
-            cells[i].inc = size_run(k, dir, true, backend);
+            // Certificates are logged on the incremental run only: the
+            // re-encode reference refutes the identical probes, and
+            // doubling the proof volume would only slow the CI
+            // certification step without adding coverage.
+            CellProofSink sink(
+                proof_dir == nullptr
+                    ? std::string{}
+                    : std::string(proof_dir) + "/fig4_" +
+                          smt::to_string(backend) + "_k" + std::to_string(k) +
+                          "_d" + std::to_string(dir) + "_");
+            cells[i].inc = size_run(k, dir, true, backend, &sink);
             cells[i].re = size_run(k, dir, false, backend);
+            cells[i].proofs = sink.count();
+            cells[i].proofs_incomplete = sink.incomplete();
+            cells[i].proof_bytes = sink.bytes();
+            cells[i].proof_ms = sink.ms();
           });
       for (int y = 0; y < k; ++y) {
         std::printf("  ");
@@ -156,6 +215,12 @@ int main(int argc, char** argv) {
               .field("analysis_ms", inc.analysis_ms)
               .field("diagnostics", inc.diagnostics)
               .solver_stats(inc.solve_stats)
+              .field("proofs", cells[static_cast<std::size_t>(dir)].proofs)
+              .field("proofs_incomplete",
+                     cells[static_cast<std::size_t>(dir)].proofs_incomplete)
+              .field("proof_bytes",
+                     cells[static_cast<std::size_t>(dir)].proof_bytes)
+              .field("proof_ms", cells[static_cast<std::size_t>(dir)].proof_ms)
               .field("seconds", inc.seconds)
               .field("seconds_reencode", re.seconds)
               .print();

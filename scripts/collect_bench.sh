@@ -30,6 +30,53 @@
 # shared CI runners are too noisy to gate on).
 set -eu
 
+# Previous-trajectory selection, shared by the diff below and the
+# --print-prev test mode. Reads candidate paths on stdin (one per line,
+# unexpanded globs included) and prints the candidate whose BENCH_PR<n>
+# numeric suffix is largest, excluding the output file itself. The suffix
+# must be strictly numeric: BENCH_PR9_threads4.json and BENCH.json ride
+# the same glob without being per-PR trajectories, and a lexicographic or
+# version sort would rank BENCH_PR9 after BENCH_PR10.
+select_prev() {
+  sp_out_abs=$1
+  sp_best=""
+  sp_best_num=-1
+  while IFS= read -r sp_cand; do
+    [ -f "$sp_cand" ] || continue
+    sp_num=$(basename "$sp_cand")
+    sp_num=${sp_num##BENCH_PR}
+    sp_num=${sp_num%.json}
+    case $sp_num in
+      '' | *[!0-9]*) continue ;;
+    esac
+    sp_cand_abs="$(cd "$(dirname "$sp_cand")" && pwd)/$(basename "$sp_cand")"
+    [ "$sp_cand_abs" = "$sp_out_abs" ] && continue
+    if [ "$sp_num" -gt "$sp_best_num" ]; then
+      sp_best_num=$sp_num
+      sp_best=$sp_cand
+    fi
+  done
+  printf '%s\n' "$sp_best"
+}
+
+# List the previous-trajectory candidates for an output path: siblings of
+# the output plus the current directory. Unmatched globs survive as
+# literals; select_prev's -f test drops them.
+prev_candidates() {
+  pc_out=$1
+  printf '%s\n' "$(dirname "$pc_out")"/BENCH_PR*.json BENCH_PR*.json
+}
+
+# Test mode: print the previous trajectory that would be compared against
+# the given output file, and exit. scripts/test_collect_bench.sh pins the
+# selection rules with this entry point (registered as a ctest).
+if [ "${1:-}" = "--print-prev" ]; then
+  out=${2:?usage: collect_bench.sh --print-prev <output-file>}
+  out_abs="$(cd "$(dirname "$out")" && pwd)/$(basename "$out")"
+  prev_candidates "$out" | select_prev "$out_abs"
+  exit 0
+fi
+
 build_dir=${1:?usage: collect_bench.sh <build-dir> [output-file]}
 if [ -n "${2:-}" ]; then
   out=$2
@@ -82,24 +129,15 @@ fi
 
 echo "collect_bench: wrote $(wc -l < "$out" | tr -d ' ') result lines to $out" >&2
 
-# Trajectory diff: newest BENCH_PR*.json (other than $out) wins. Lines are
+# Trajectory diff: the BENCH_PR<n>.json with the largest numeric PR
+# suffix (other than $out) wins — see select_prev above. Lines are
 # matched per scenario; old trajectories that predate the per-backend
 # "backend" field count as native-comparable only when they were collected
 # without Z3 — PR2's were Auto/Z3, which the ratio labels call out.
-prev=""
-# Compare candidates against $out by absolute path: the same file can show
-# up under two spellings when $out lives in the current directory.
+# Candidates are compared against $out by absolute path: the same file can
+# show up under two spellings when $out lives in the current directory.
 out_abs="$(cd "$(dirname "$out")" && pwd)/$(basename "$out")"
-# sort -V: BENCH_PR10 must come after BENCH_PR2, not before. Unmatched
-# globs survive as literals; the -f test drops them.
-while IFS= read -r cand; do
-  [ -f "$cand" ] || continue
-  cand_abs="$(cd "$(dirname "$cand")" && pwd)/$(basename "$cand")"
-  [ "$cand_abs" = "$out_abs" ] && continue
-  prev=$cand
-done <<EOF
-$(printf '%s\n' "$(dirname "$out")"/BENCH_PR*.json BENCH_PR*.json | sort -uV)
-EOF
+prev=$(prev_candidates "$out" | select_prev "$out_abs")
 if [ -n "$prev" ] && command -v python3 >/dev/null 2>&1; then
   echo "collect_bench: trajectory vs $prev (ratio >1 = faster now):" >&2
   python3 - "$prev" "$out" >&2 <<'PYEOF' || true

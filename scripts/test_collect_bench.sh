@@ -1,0 +1,63 @@
+#!/bin/sh
+# Regression test for collect_bench.sh's previous-trajectory selection
+# (the --print-prev entry point): the numeric PR suffix decides — not
+# lexicographic or version order — and artifacts that ride the same
+# BENCH_PR* glob without being per-PR trajectories (threads variants,
+# non-numeric suffixes) are ignored. Registered as the ctest
+# `collect_bench_select_prev`.
+set -eu
+
+script_dir=$(CDPATH='' cd -- "$(dirname -- "$0")" && pwd)
+collect="$script_dir/collect_bench.sh"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+cd "$tmp"
+
+fail() {
+  echo "test_collect_bench: FAIL: $1" >&2
+  exit 1
+}
+
+# check <description> <output-file> <expected-basename-or-empty>
+check() {
+  got=$("$collect" --print-prev "$2")
+  if [ -n "$got" ]; then got=$(basename "$got"); fi
+  [ "$got" = "$3" ] || fail "$1: want '$3', got '$got'"
+}
+
+# No candidates at all: selection is empty, not an error.
+check "empty directory selects nothing" BENCH_PR1.json ""
+
+: > BENCH_PR2.json
+: > BENCH_PR9.json
+: > BENCH_PR10.json
+
+# PR9 sorts after PR10 lexicographically and version-sort ranks the
+# basenames, not the PR numbers, once suffixes enter the glob — the
+# numeric suffix must decide.
+check "numeric suffix beats lexicographic order" \
+  BENCH_PR11.json BENCH_PR10.json
+
+# The output file itself is never its own previous trajectory.
+check "output file is excluded" BENCH_PR10.json BENCH_PR9.json
+
+# Artifacts riding the glob without a strictly numeric suffix are not
+# trajectories: the threads variant and a malformed name must not win
+# even though both version-sort after BENCH_PR10.json.
+: > BENCH_PR10_threads4.json
+: > BENCH_PRx.json
+check "non-numeric suffixes are ignored" BENCH_PR11.json BENCH_PR10.json
+
+# A default-named output still diffs against the newest PR trajectory.
+check "BENCH.json output compares against newest PR" \
+  BENCH.json BENCH_PR10.json
+
+# Candidates next to an output in another directory are found too (and
+# compete numerically with the current directory's trajectories).
+mkdir sub
+: > sub/BENCH_PR12.json
+check "siblings of the output directory are candidates" \
+  sub/BENCH_PR13.json BENCH_PR12.json
+
+echo "test_collect_bench: PASS"

@@ -39,6 +39,7 @@ std::string VerifyResult::to_string() const {
   if (stop_reason != util::StopReason::kNone) {
     os << "stopped: " << util::to_string(stop_reason) << "\n";
   }
+  if (witness.has_value()) os << witness->to_string();
   return os.str();
 }
 
@@ -88,6 +89,11 @@ Verifier::Verifier(xmas::Network net, VerifyOptions options)
   }
   if (options_.threads != 0) solver_->set_threads(options_.threads);
   if (options_.deterministic) solver_->set_deterministic(true);
+  // Before any assertion reaches the solver, so every Unsat of the session
+  // is certified from a complete clause log.
+  if (options_.proof_sink != nullptr) {
+    solver_->set_proof_sink(options_.proof_sink);
+  }
   if (!options_.budget.unlimited()) solver_->set_budget(options_.budget);
   for (smt::ExprId e : enc_.structural) solver_->add(e);
   for (smt::ExprId e : enc_.definitions) solver_->add(e);
@@ -226,6 +232,12 @@ VerifyResult Verifier::run_check(const CheckOverrides& o) {
   if (result.report.result == smt::SatResult::Sat) {
     deadlock::decode_witness(net_, typing_, factory_, enc_, solver_->model(),
                              result.report);
+    if (options_.witness_replay) {
+      deadlock::WitnessOptions wo;
+      wo.max_states = options_.witness_max_states;
+      result.witness = deadlock::build_witness(net_, typing_, solver_->model(),
+                                               result.report.fired, wo);
+    }
   }
 
   if (use_inv) {

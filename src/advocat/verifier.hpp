@@ -22,6 +22,7 @@
 #include "analysis/analyzer.hpp"
 #include "deadlock/checker.hpp"
 #include "deadlock/encoder.hpp"
+#include "deadlock/witness.hpp"
 #include "invariants/generator.hpp"
 #include "smt/smtlib.hpp"
 #include "util/budget.hpp"
@@ -74,6 +75,19 @@ struct VerifyOptions {
   /// with the matching StopReason on VerifyResult; a default-constructed
   /// budget (the default) imposes no limits.
   util::ResourceBudget budget{};
+  /// Certify Sat verdicts: decode the model into a concrete state, replay
+  /// it on the simulator, and minimize the blocking queue set (see
+  /// deadlock::build_witness). The result lands on VerifyResult::witness.
+  bool witness_replay = false;
+  /// Reachable-state budget per witness replay (see WitnessOptions).
+  std::size_t witness_max_states = 50'000;
+  /// Certify Unsat verdicts: receives an independently checkable proof
+  /// certificate for every Unsat the session's solver reports (see
+  /// smt::Solver::set_proof_sink and docs/PROOFS.md). The sink must
+  /// outlive the session; under parallel capacity probing
+  /// (QueueSizingOptions::probe_threads > 1) it is called concurrently
+  /// from several sessions and must be thread-safe.
+  smt::ProofSink* proof_sink = nullptr;
 };
 
 struct VerifyResult {
@@ -99,6 +113,10 @@ struct VerifyResult {
   /// Why this check degraded to Unknown (kNone after a definite verdict).
   /// Mirrors solve_stats.stop_reason; a degraded result is never silent.
   util::StopReason stop_reason = util::StopReason::kNone;
+
+  /// Sat verdicts under VerifyOptions::witness_replay: the decoded,
+  /// simulator-replayed, minimized counterexample (see deadlock::Witness).
+  std::optional<deadlock::Witness> witness;
 
   double typing_seconds = 0.0;
   double invariant_seconds = 0.0;

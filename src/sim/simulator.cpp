@@ -39,7 +39,7 @@ State Simulator::initial() const {
   return s;
 }
 
-Simulator::Effects Simulator::merge_effects(const Effects& a, const Effects& b) {
+Effects Simulator::merge_effects(const Effects& a, const Effects& b) {
   Effects out = a;
   out.pops.insert(out.pops.end(), b.pops.begin(), b.pops.end());
   out.pushes.insert(out.pushes.end(), b.pushes.begin(), b.pushes.end());
@@ -47,7 +47,7 @@ Simulator::Effects Simulator::merge_effects(const Effects& a, const Effects& b) 
   return out;
 }
 
-std::vector<Simulator::Effects> Simulator::accepts(ChanId c, ColorId d,
+std::vector<Effects> Simulator::accepts(ChanId c, ColorId d,
                                                    const State& s,
                                                    int depth) const {
   if (depth > kMaxDepth) return {};
@@ -254,9 +254,10 @@ std::optional<State> Simulator::apply(const State& s, const Effects& e) const {
 
 std::vector<Event> Simulator::events(const State& s) const {
   std::vector<Event> result;
-  auto emit = [&](const std::string& label, const Effects& eff) {
+  auto emit = [&](PrimId initiator, const std::string& label,
+                  const Effects& eff) {
     if (auto next = apply(s, eff)) {
-      result.push_back({label, std::move(*next)});
+      result.push_back({label, initiator, eff, std::move(*next)});
     }
   };
   // Initiation points are the storage producers: sources and queues.
@@ -265,7 +266,7 @@ std::vector<Event> Simulator::events(const State& s) const {
     if (!src.fair) continue;
     for (ColorId d : src.source_colors) {
       for (const Effects& acc : accepts(src.out[0], d, s, 0)) {
-        emit(src.name + "!" + net_.colors().name(d), acc);
+        emit(sid, src.name + "!" + net_.colors().name(d), acc);
       }
     }
   }
@@ -273,7 +274,7 @@ std::vector<Event> Simulator::events(const State& s) const {
     const Primitive& q = net_.prim(queue_ids_[qi]);
     for (const Offer& o : offers(q.out[0], s, 0)) {
       for (const Effects& acc : accepts(q.out[0], o.color, s, 0)) {
-        emit(q.name + ">" + net_.colors().name(o.color),
+        emit(queue_ids_[qi], q.name + ">" + net_.colors().name(o.color),
              merge_effects(o.effects, acc));
       }
     }

@@ -36,8 +36,27 @@ struct StateHash {
   std::size_t operator()(const State& s) const;
 };
 
+/// Structured summary of what one event does to the state. Positions in
+/// `pops` refer to the pre-event state; queue ordinals are the dense
+/// Simulator indices (see Simulator::queue_prim / ordinal_of).
+struct Effects {
+  /// (queue ordinal, position) removals; positions refer to the pre-event
+  /// state.
+  std::vector<std::pair<int, int>> pops;
+  std::vector<std::pair<int, xmas::ColorId>> pushes;  // (queue ordinal, color)
+  std::vector<std::pair<int, int>> moves;  // (automaton index, target state)
+};
+
 struct Event {
   std::string label;
+  /// The storage producer that initiated the transfer: a fair source or a
+  /// queue (PrimId into the network).
+  xmas::PrimId initiator = -1;
+  /// What the event pops, pushes, and which automata it moves — the
+  /// machine-readable counterpart of `label`, used by the deadlock witness
+  /// replay to confirm claims ("this queue never pops", "this automaton
+  /// never moves") without parsing labels.
+  Effects effects;
   State next;
 };
 
@@ -70,14 +89,17 @@ class Simulator {
 
   [[nodiscard]] const xmas::Network& net() const { return net_; }
 
+  // Queue ordinal mapping (State::queues index <-> network PrimId).
+  [[nodiscard]] std::size_t num_queues() const { return queue_ids_.size(); }
+  [[nodiscard]] xmas::PrimId queue_prim(int ordinal) const {
+    return queue_ids_.at(static_cast<std::size_t>(ordinal));
+  }
+  /// Dense queue index of `p`, or -1 when `p` is not a queue.
+  [[nodiscard]] int ordinal_of(xmas::PrimId p) const {
+    return queue_ordinal_.at(static_cast<std::size_t>(p));
+  }
+
  private:
-  struct Effects {
-    // (queue ordinal, position) removals; positions refer to the
-    // pre-event state.
-    std::vector<std::pair<int, int>> pops;
-    std::vector<std::pair<int, xmas::ColorId>> pushes;  // (queue ordinal, color)
-    std::vector<std::pair<int, int>> moves;  // (automaton index, target state)
-  };
   struct Offer {
     xmas::ColorId color;
     Effects effects;

@@ -45,9 +45,13 @@ class ClauseExchange {
   using Lits = std::vector<std::int32_t>;
   using Cursor = std::array<std::size_t, kShards>;
 
-  /// Publishes a clause from worker `source`. Returns false (and counts a
-  /// drop) when the shard is full.
-  bool publish(const Lits& lits, unsigned source) {
+  /// Publishes a clause from worker `source`. While proof logging is on,
+  /// `proof_stamp` is the clause's origin id in the session proof trace —
+  /// the exporter logs before publishing, so an importer's first use of
+  /// the clause always postdates the clause's trace entry. Returns false
+  /// (and counts a drop) when the shard is full.
+  bool publish(const Lits& lits, unsigned source,
+               std::uint64_t proof_stamp = 0) {
     if (util::fault::enabled()) {
       // Fault sites act locally, never throw: the exchange is best-effort
       // by design, so a stalled publisher (descheduled thread) or a forced
@@ -68,6 +72,7 @@ class ClauseExchange {
         return false;
       }
       sh.clauses.push_back(lits);
+      sh.stamps.push_back(proof_stamp);
     }
     published_.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -109,6 +114,7 @@ class ClauseExchange {
   struct Shard {
     std::mutex mu;
     std::vector<Lits> clauses;
+    std::vector<std::uint64_t> stamps;  // 1:1 origin proof ids (0 = none)
   };
   std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> published_{0};

@@ -55,6 +55,7 @@
 
 #include "smt/audit.hpp"
 #include "smt/clause_exchange.hpp"
+#include "smt/proof.hpp"
 #include "smt/search_context.hpp"
 #include "util/budget.hpp"
 #include "util/env.hpp"
@@ -66,11 +67,14 @@ namespace {
 
 using native::Atom;
 using native::Auditor;
+using native::CertificateInputs;
 using native::CheckJob;
 using native::ClauseExchange;
 using native::Clock;
 using native::Lit;
 using native::Outcome;
+using native::ProofLog;
+using native::ProofRecord;
 using native::SearchConfig;
 using native::SearchContext;
 using native::SharedProblem;
@@ -139,6 +143,19 @@ class NativeSolver final : public Solver {
 
   void set_deterministic(bool on) override { deterministic_ = on; }
 
+  // Turns proof logging on (or off) for every subsequent check. The stamp
+  // counter, session trace, and lemma cache live for the solver's
+  // lifetime, so a sink attached before the first check certifies every
+  // later Unsat; attaching after checks have run yields certificates
+  // honestly marked incomplete (the earlier learning was never logged).
+  void set_proof_sink(ProofSink* sink) override {
+    Solver::set_proof_sink(sink);
+    if (sink != nullptr && primary_log_ == nullptr) {
+      primary_log_ = std::make_unique<ProofLog>(&proof_stamp_);
+    }
+    primary_->set_proof_log(sink != nullptr ? primary_log_.get() : nullptr);
+  }
+
  protected:
   SatResult do_check(const std::vector<ExprId>& assumptions,
                      unsigned timeout_ms) override {
@@ -169,19 +186,21 @@ class NativeSolver final : public Solver {
     std::vector<Lit> assumption_lits;
     assumption_lits.reserve(assumptions.size());
     for (ExprId a : assumptions) assumption_lits.push_back(translate_bool(a));
+    last_cubes_.clear();
     SatResult result = SatResult::Unsat;
+    std::vector<Lit> permanent_roots;
+    std::vector<Lit> scoped_roots;
     if (!trivially_unsat_) {
       // Level-0 permanent roots vs. the retractable scoped prefix.
       const std::size_t permanent = std::min(
           scopes_.empty() ? root_lits_.size() : scopes_.front(),
           root_lits_.size());
-      std::vector<Lit> permanent_roots(root_lits_.begin(),
-                                       root_lits_.begin() +
-                                           static_cast<std::ptrdiff_t>(
-                                               permanent));
-      std::vector<Lit> scoped_roots(root_lits_.begin() +
-                                        static_cast<std::ptrdiff_t>(permanent),
-                                    root_lits_.end());
+      permanent_roots.assign(root_lits_.begin(),
+                             root_lits_.begin() +
+                                 static_cast<std::ptrdiff_t>(permanent));
+      scoped_roots.assign(root_lits_.begin() +
+                              static_cast<std::ptrdiff_t>(permanent),
+                          root_lits_.end());
       job.permanent_roots = &permanent_roots;
       job.scoped_roots = &scoped_roots;
       job.assumption_lits = &assumption_lits;
@@ -196,6 +215,14 @@ class NativeSolver final : public Solver {
         result = SatResult::Unknown;
         last_stop_ = util::StopReason::kFaultInjected;
       }
+      // A check that ran unlogged leaves learned material the trace
+      // cannot reconstruct: every later certificate is marked incomplete.
+      if (proof_sink() == nullptr || primary_log_ == nullptr) {
+        unlogged_checks_ = true;
+      }
+    }
+    if (result == SatResult::Unsat && proof_sink() != nullptr) {
+      emit_certificate(permanent_roots, scoped_roots, assumption_lits);
     }
     refresh_stats();
     if (std::getenv("ADVOCAT_NATIVE_STATS") != nullptr) {
@@ -439,6 +466,49 @@ class NativeSolver final : public Solver {
     return r;
   }
 
+  /// Serializes (and theory-certifies) the refutation this check just
+  /// produced and hands it to the sink. The session trace is cumulative —
+  /// learned clauses persist across checks, so every certificate replays
+  /// the whole session's logged learning; stamps restore one coherent
+  /// order over the merged per-worker logs.
+  void emit_certificate(const std::vector<Lit>& permanent_roots,
+                        const std::vector<Lit>& scoped_roots,
+                        const std::vector<Lit>& assumption_lits) {
+    if (primary_log_ != nullptr) primary_log_->drain_into(trace_);
+    std::sort(trace_.begin(), trace_.end(),
+              [](const ProofRecord& a, const ProofRecord& b) {
+                return a.stamp < b.stamp;
+              });
+    CertificateInputs in;
+    in.sh = &sh_;
+    in.trace = &trace_;
+    in.assume_lits = permanent_roots;
+    in.assume_lits.insert(in.assume_lits.end(), scoped_roots.begin(),
+                          scoped_roots.end());
+    in.assume_lits.insert(in.assume_lits.end(), assumption_lits.begin(),
+                          assumption_lits.end());
+    in.cubes = std::move(last_cubes_);
+    last_cubes_.clear();
+    in.trivially_unsat = trivially_unsat_;
+    in.attached_mid_session = unlogged_checks_;
+    Certificate cert;
+    try {
+      cert = native::build_certificate(in, lemma_cache_);
+    } catch (...) {
+      // Certification is best-effort under fault injection / allocation
+      // pressure: the verdict stands (it was reached before this point),
+      // so report an honestly unverifiable certificate rather than let
+      // the failure masquerade as an Unknown check result.
+      cert = Certificate{};
+      cert.mode = "attested";
+      cert.complete = false;
+      cert.reason = "native certificate construction aborted";
+      cert.text = "advocat-proof 1\nmode attested native-aborted\nqed\n";
+      cert.proof_bytes = cert.text.size();
+    }
+    proof_sink()->on_unsat_certificate(cert);
+  }
+
   /// Session stats = the primary context's lifetime counters plus the
   /// accumulated counters of every ephemeral worker that ever ran
   /// (extra_), with the gauges (learned_kept, threads) from the present.
@@ -579,9 +649,18 @@ class NativeSolver final : public Solver {
         static_cast<unsigned>(std::min<std::size_t>(threads_, tasks));
     std::vector<std::unique_ptr<SearchContext>> workers;
     workers.reserve(width);
+    const bool logging = proof_sink() != nullptr && primary_log_ != nullptr;
+    std::vector<std::unique_ptr<ProofLog>> worker_logs;
     for (unsigned t = 0; t < width; ++t) {
       workers.push_back(make_worker(t, xch, stop_flag, /*diversify=*/
                                     portfolio_ || !deterministic_));
+      if (logging) {
+        // Each worker appends to its own log (no sharing, no locking);
+        // the shared atomic stamp counter makes the logs merge into one
+        // coherent order at the join below.
+        worker_logs.push_back(std::make_unique<ProofLog>(&proof_stamp_));
+        workers.back()->set_proof_log(worker_logs.back().get());
+      }
     }
     std::vector<CheckJob> jobs(tasks, job);
     std::vector<Outcome> outcomes(tasks, Outcome::Unknown);
@@ -609,6 +688,9 @@ class NativeSolver final : public Solver {
         }
       }
     });
+    // All workers joined: merge their proof logs into the session trace
+    // (emit_certificate stamp-sorts before serializing).
+    for (const auto& wl : worker_logs) wl->drain_into(trace_);
 
     // Combine: order-independent over the outcome multiset.
     SatResult verdict;
@@ -626,6 +708,9 @@ class NativeSolver final : public Solver {
         verdict = SatResult::Sat;
       } else if (all_unsat) {
         verdict = SatResult::Unsat;
+        // The certificate must close the case split: record the refuted
+        // cubes so the serializer can fold ¬cube clauses down to empty.
+        last_cubes_ = std::move(cubes);
         // Union of the per-cube assumption cores, in cube order.
         std::vector<ExprId> core;
         std::set<ExprId> seen;
@@ -700,6 +785,19 @@ class NativeSolver final : public Solver {
   SharedProblem sh_;
   std::unique_ptr<SearchContext> primary_;
   SolveStats extra_;  // accumulated counters of completed workers
+
+  // Proof logging state (alive for the session; empty until a sink is
+  // attached). The stamp counter is shared by the primary context's log
+  // and every ephemeral worker log so the merged trace totally orders all
+  // learning; the lemma cache persists branch-and-cut re-derivations
+  // across certificates (incremental sessions re-serialize the cumulative
+  // trace on every Unsat).
+  std::atomic<std::uint64_t> proof_stamp_{0};
+  std::unique_ptr<ProofLog> primary_log_;
+  std::vector<ProofRecord> trace_;
+  std::vector<std::vector<Lit>> last_cubes_;
+  std::unordered_map<std::string, std::string> lemma_cache_;
+  bool unlogged_checks_ = false;
 
   unsigned threads_ = 1;
   bool deterministic_ = false;

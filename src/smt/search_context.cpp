@@ -11,6 +11,7 @@
 #include <limits>
 
 #include "smt/audit.hpp"
+#include "smt/proof.hpp"
 #include "util/env.hpp"
 #include "util/fault.hpp"
 
@@ -663,6 +664,15 @@ bool SearchContext::propagate_entailed_atoms() {
             static_cast<std::uint32_t>(expl_scratch_.size());
         expl_pool_.insert(expl_pool_.end(), expl_scratch_.begin(),
                           expl_scratch_.end());
+        if (plog_ != nullptr) {
+          // The implicit reason clause of this theory propagation: the
+          // enqueued literal plus its explanation (already in clause
+          // form — expl_run emits negated antecedents).
+          lemma_scratch_.assign(1, mk_lit(v, entailed < 0));
+          lemma_scratch_.insert(lemma_scratch_.end(), expl_scratch_.begin(),
+                                expl_scratch_.end());
+          log_theory_lemma(lemma_scratch_);
+        }
         const bool ok = enqueue(mk_lit(v, entailed < 0), kReasonTheory);
         (void)ok;  // the variable was unassigned
         any = true;
@@ -885,6 +895,26 @@ void SearchContext::collect_theory_lits(bool with_diseqs, std::size_t limit,
   }
 }
 
+// Records a theory-valid clause in the proof trace. The recorded context
+// is every atom literal asserted at level 0 right now: leaf blocking
+// clauses (collect_theory_lits) skip level-0 literals as permanent, so
+// the clause alone need not be theory-valid — the checker re-derives each
+// context literal by unit propagation and adds it to the premise set.
+void SearchContext::log_theory_lemma(const std::vector<Lit>& clause) {
+  if (plog_ == nullptr) return;
+  proof_scratch_.clear();
+  const std::size_t l0 =
+      levels_.empty() ? trail_.size() : levels_.front().trail;
+  for (std::size_t i = 0; i < l0; ++i) {
+    const int v = var_of(trail_[i]);
+    if (sh_.atom_of_var[static_cast<std::size_t>(v)] >= 0) {
+      proof_scratch_.push_back(trail_[i]);
+    }
+  }
+  plog_->log_lemma(clause.data(), clause.size(), proof_scratch_.data(),
+                   proof_scratch_.size());
+}
+
 // First-UIP conflict analysis; see the pre-split solver for the full
 // commentary. Produces learnt_ (learnt_[0] the asserting literal,
 // learnt_[1] — when present — the backjump-level watch) and returns the
@@ -1083,6 +1113,14 @@ bool SearchContext::resolve_conflict(const Lit* conflict, std::size_t nconf,
   backjump(bt);
   const bool tainted = saw_unknown_;
   ++stats_.learned_clauses;
+  // Logged before the clause can be exported: the exchange entry carries
+  // this stamp as its origin proof id, so an importer's use of the clause
+  // always postdates its appearance in the merged session trace. Tainted
+  // clauses are never logged — they may rest on an unproven refutation.
+  std::uint64_t proof_stamp = 0;
+  if (plog_ != nullptr && !tainted) {
+    proof_stamp = plog_->log_rup(learnt_.data(), learnt_.size());
+  }
   if (learnt_.size() == 1) {
     // Unit consequence: permanent — re-asserted at level 0 of every
     // later check — unless tainted, in which case it lives only on this
@@ -1107,7 +1145,7 @@ bool SearchContext::resolve_conflict(const Lit* conflict, std::size_t nconf,
     const bool ok = enqueue(learnt_[0], lci);
     (void)ok;
   }
-  if (!tainted) export_learnt(lbd);
+  if (!tainted) export_learnt(lbd, proof_stamp);
   var_inc_ *= kVarActInc;
   cla_inc_ *= kClaActInc;
   ++conflicts_since_restart_;
@@ -1117,13 +1155,15 @@ bool SearchContext::resolve_conflict(const Lit* conflict, std::size_t nconf,
 // Publishes the just-learnt clause when it is worth another worker's
 // attention. Sound because a non-tainted learnt clause is entailed by the
 // permanent material alone (the assumption-level invariant).
-void SearchContext::export_learnt(int lbd) {
+void SearchContext::export_learnt(int lbd, std::uint64_t proof_stamp) {
   if (cfg_.exchange == nullptr) return;
   if (learnt_.size() > 2 && (lbd > kExportLbdMax ||
                              learnt_.size() > kExportLenMax)) {
     return;
   }
-  if (cfg_.exchange->publish(learnt_, cfg_.id)) ++stats_.clauses_exported;
+  if (cfg_.exchange->publish(learnt_, cfg_.id, proof_stamp)) {
+    ++stats_.clauses_exported;
+  }
 }
 
 // Adopts clauses other workers published since the last import. Called at
@@ -1246,6 +1286,14 @@ void SearchContext::reduce_db() {
   });
   const std::size_t victims = reduce_order_.size() / 2;
   for (std::size_t i = 0; i < victims; ++i) {
+    if (plog_ != nullptr) {
+      // Advisory only: the checker never applies deletions (a deletion
+      // holds for this worker's copy, not for every context that
+      // imported the clause), but the trace records them so certificate
+      // consumers can reconstruct the live database if they care to.
+      plog_->log_delete(arena_.lits(reduce_order_[i]),
+                        arena_.size(reduce_order_[i]));
+    }
     arena_.mark_deleted(reduce_order_[i]);
     --num_learned_live_;
     ++stats_.deleted_clauses;
@@ -1779,6 +1827,7 @@ Outcome SearchContext::run_check() {
           }
           expl_run(&theory_conflict_, nullptr);
         }
+        if (plog_ != nullptr) log_theory_lemma(theory_conflict_);
       }
       const bool is_clause = confl.kind == Conflict::kClause;
       const Lit* lits = is_clause ? arena_.lits(confl.ci)
@@ -1843,6 +1892,11 @@ Outcome SearchContext::run_check() {
       emit_simplex_conflict();
     } else {
       collect_theory_lits(true, trail_.size(), theory_conflict_);
+    }
+    if (plog_ != nullptr && leaf == SatResult::Unsat) {
+      // Only a refuted leaf's blocking clause is theory-entailed; an
+      // Unknown leaf's clause is a search heuristic and taints the run.
+      log_theory_lemma(theory_conflict_);
     }
     if (!resolve_conflict(theory_conflict_.data(), theory_conflict_.size(),
                           -1)) {

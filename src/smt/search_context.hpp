@@ -162,6 +162,7 @@ struct CheckJob {
 };
 
 class Auditor;
+class ProofLog;
 
 class SearchContext {
  public:
@@ -206,6 +207,13 @@ class SearchContext {
   /// the permanent problem, so sound on any context sharing the problem).
   void adopt_clauses(const std::vector<std::vector<Lit>>& clauses);
   void adopt_units(const std::vector<Lit>& units);
+
+  /// Attaches (or detaches, with nullptr) a proof log: while set,
+  /// non-tainted learned clauses, theory lemmas, and deletions are
+  /// recorded for certificate generation. Logging touches no SolveStats
+  /// field and makes no search decision, so verdicts and determinism-mode
+  /// stats are identical with and without a log.
+  void set_proof_log(ProofLog* log) { plog_ = log; }
 
  private:
   // Read-only deep invariant checks under ADVOCAT_AUDIT (smt/audit.hpp).
@@ -286,7 +294,11 @@ class SearchContext {
               int& lbd_out);
   void analyze_final(Lit p, int p_at);
   bool resolve_conflict(const Lit* conflict, std::size_t nconf, ClauseRef ci);
-  void export_learnt(int lbd);
+  void export_learnt(int lbd, std::uint64_t proof_stamp);
+  // Records `clause` as a theory lemma (with the level-0 atom context in
+  // force, which leaf blocking clauses omit as permanent). No-op while no
+  // proof log is attached.
+  void log_theory_lemma(const std::vector<Lit>& clause);
   void import_clauses();
   void maybe_restart_or_reduce();
   void reduce_db();
@@ -374,6 +386,9 @@ class SearchContext {
   std::vector<Lit> learnt_;
   std::vector<Lit> theory_conflict_;
   std::vector<int> lbd_levels_;
+  ProofLog* plog_ = nullptr;        // proof trace, nullptr = logging off
+  std::vector<Lit> proof_scratch_;  // level-0 ctx assembly scratch
+  std::vector<Lit> lemma_scratch_;  // lemma-clause assembly scratch
   std::vector<int> reduce_order_;
   // Provenance-explanation machinery (see the .cpp section comment).
   struct BoundLog {

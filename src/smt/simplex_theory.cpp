@@ -84,6 +84,20 @@ void SimplexTheory::collect_farkas_tags(std::vector<int>& used) const {
   }
 }
 
+void SimplexTheory::capture_farkas(Result& out) const {
+  // Only a refutation free of branch-cut bounds is a single Farkas
+  // combination of the caller's rows/pins; a branch-tagged term means the
+  // contradiction needs that cut as a premise, so no flat multiplier list
+  // certifies it.
+  for (const linalg::FarkasTerm& t : spx_.farkas()) {
+    if (t.tag == kBranchTag) {
+      out.farkas.clear();
+      return;
+    }
+  }
+  out.farkas = spx_.farkas();
+}
+
 SimplexTheory::Verdict SimplexTheory::branch(const std::vector<int>& int_vars,
                                              int depth,
                                              std::vector<int>& used,
@@ -193,6 +207,7 @@ SimplexTheory::Result SimplexTheory::check(
         used.push_back(static_cast<int>(i));  // 0 ≤ negative, alone
       } else {
         collect_farkas_tags(used);
+        capture_farkas(out);
       }
       conflict = true;
     }
@@ -203,6 +218,7 @@ SimplexTheory::Result SimplexTheory::check(
     if (!spx_.assert_upper(ext, v, pin_tag(static_cast<int>(p))) ||
         !spx_.assert_lower(ext, v, pin_tag(static_cast<int>(p)))) {
       collect_farkas_tags(used);
+      capture_farkas(out);
       conflict = true;
     }
   }
@@ -226,6 +242,7 @@ SimplexTheory::Result SimplexTheory::check(
       if (out.verdict != Verdict::Infeasible) return out;
     } else {
       collect_farkas_tags(used);
+      capture_farkas(out);
     }
   }
 

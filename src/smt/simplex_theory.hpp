@@ -42,6 +42,14 @@ class SimplexTheory {
     std::vector<int> conflict_rows;
     /// Infeasible: indices into the `pins` argument the refutation used.
     std::vector<int> conflict_pins;
+    /// Infeasible via one rational Farkas combination (no branch cuts
+    /// involved): the exact positive multipliers, in the internal tag
+    /// space (row index >= 0, pin p as -1-p). Summing multiplier-scaled
+    /// rows cancels every variable and leaves a contradictory constant —
+    /// an independently checkable certificate of the refutation. Empty
+    /// when the refutation composed several branch-and-bound leaves (no
+    /// single combination exists) or a constant row refuted alone.
+    std::vector<linalg::FarkasTerm> farkas;
     /// IntegerModel: value per integer variable the system mentions.
     std::vector<theory::Pin> model;
   };
@@ -88,6 +96,9 @@ class SimplexTheory {
   Verdict branch(const std::vector<int>& int_vars, int depth,
                  std::vector<int>& used, Result& out);
   void collect_farkas_tags(std::vector<int>& used) const;
+  // Copies the tableau's current Farkas terms into `out.farkas` when they
+  // form a single branch-free combination (see Result::farkas).
+  void capture_farkas(Result& out) const;
 
   linalg::Simplex spx_;
   // Two-level interning: by row identity (rows are stable, immutable atom

@@ -182,6 +182,10 @@ class RecordingSolver final : public Solver {
 
   void set_deterministic(bool on) override { inner_->set_deterministic(on); }
 
+  void set_proof_sink(ProofSink* sink) override {
+    inner_->set_proof_sink(sink);
+  }
+
   void set_budget(const util::ResourceBudget& budget) override {
     inner_->set_budget(budget);
   }

@@ -87,6 +87,34 @@ struct SolveStats {
   std::uint64_t peak_arena_bytes = 0;
 };
 
+/// An independently checkable refutation of one Unsat check. `text` is the
+/// full certificate in the line-oriented grammar of docs/PROOFS.md: the
+/// serialized problem clauses and theory-atom table, this check's
+/// assumption units, and the stamped session trace of learned clauses
+/// (RUP steps) and theory lemmas with inline Farkas/branch-and-cut
+/// justifications, closed by `qed`. `advocat-check` (tools/) validates it
+/// with zero dependencies on solver code.
+struct Certificate {
+  std::string text;       ///< the certificate body (see docs/PROOFS.md)
+  std::string mode;       ///< "native", or "attested <backend>"
+  bool complete = true;   ///< false when some ingredient could not be
+                          ///< certified (reason says which); the checker
+                          ///< will reject an incomplete certificate
+  std::string reason;     ///< why complete is false ("" when complete)
+  double proof_ms = 0.0;  ///< wall time spent certifying + serializing
+  std::size_t proof_bytes = 0;  ///< text.size(), for BENCH_JSON tracking
+};
+
+/// Receives one Certificate per Unsat check. Install with
+/// Solver::set_proof_sink *before the first check* — material learned
+/// before the sink is attached cannot be reconstructed, so certificates
+/// emitted after a mid-session attach are marked incomplete.
+class ProofSink {
+ public:
+  virtual ~ProofSink() = default;
+  virtual void on_unsat_certificate(const Certificate& cert) = 0;
+};
+
 [[nodiscard]] inline const char* to_string(SatResult r) {
   switch (r) {
     case SatResult::Sat: return "sat";
@@ -155,6 +183,15 @@ class Solver {
     budget_ = budget;
   }
   [[nodiscard]] const util::ResourceBudget& budget() const { return budget_; }
+
+  /// Installs a proof sink: every subsequent Unsat check emits an
+  /// independently checkable Certificate to it (see ProofSink). Pass
+  /// nullptr to detach. Logging is off entirely while no sink is
+  /// installed — the fast path stays untouched and SolveStats are
+  /// bit-identical with and without a sink. Attach before the first
+  /// check: certificates after a mid-session attach are marked
+  /// incomplete. Default no-op for backends without proof support.
+  virtual void set_proof_sink(ProofSink* sink) { proof_sink_ = sink; }
 
   /// Asynchronous cancellation: may be called from another thread while a
   /// check is in flight; the check returns Unknown(kCancelled) at its next
@@ -225,6 +262,9 @@ class Solver {
   [[nodiscard]] const std::atomic<bool>* cancel_flag() const {
     return &cancel_;
   }
+  /// The installed proof sink (nullptr when none): backends emit each
+  /// Unsat certificate here.
+  [[nodiscard]] ProofSink* proof_sink() const { return proof_sink_; }
 
  private:
   Model model_;
@@ -234,6 +274,7 @@ class Solver {
   std::vector<ExprId> core_;
   util::ResourceBudget budget_;
   std::atomic<bool> cancel_{false};
+  ProofSink* proof_sink_ = nullptr;
 };
 
 /// Selects the solver implementation behind make_solver().

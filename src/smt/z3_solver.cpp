@@ -111,6 +111,18 @@ class Z3Solver final : public Solver {
       }
       case z3::unsat:
         mutable_stats().stop_reason = util::StopReason::kNone;
+        if (proof_sink() != nullptr) {
+          // The Z3 backend produces no advocat-checkable refutation; the
+          // certificate is an attestation record — the checker accepts it
+          // as such, and downstream tooling can tell the two modes apart.
+          Certificate cert;
+          cert.mode = "attested";
+          cert.complete = false;
+          cert.reason = "z3 backend: verdict attested, not replayable";
+          cert.text = "advocat-proof 1\nmode attested z3\nqed\n";
+          cert.proof_bytes = cert.text.size();
+          proof_sink()->on_unsat_certificate(cert);
+        }
         return SatResult::Unsat;
       default:
         mutable_stats().stop_reason = map_unknown_reason(effective_ms);

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <random>
@@ -23,6 +24,7 @@
 
 #include "advocat/verifier.hpp"
 #include "coherence/mi_abstract.hpp"
+#include "proof_check.hpp"
 #include "smt/expr.hpp"
 #include "smt/solver.hpp"
 #include "util/budget.hpp"
@@ -260,12 +262,36 @@ std::string random_schedule(std::mt19937_64& rng) {
   return spec;
 }
 
+// Collects every certificate the faulted session emits so the round can
+// pipe them through the standalone checker in-process.
+struct CaptureSink : ProofSink {
+  void on_unsat_certificate(const Certificate& cert) override {
+    certs.push_back(cert);
+  }
+  std::vector<Certificate> certs;
+};
+
+// When ADVOCAT_PROOF_DIR is set (the CI certification step), the soak's
+// certificates are also serialized for the standalone advocat-check
+// binary to revalidate out of process.
+void dump_certs(const CaptureSink& sink) {
+  static const char* dir = std::getenv("ADVOCAT_PROOF_DIR");
+  if (dir == nullptr) return;
+  static std::size_t serial = 0;
+  for (const Certificate& cert : sink.certs) {
+    std::ofstream out(std::string(dir) + "/soak_" + std::to_string(serial++) +
+                      ".proof");
+    out << cert.text;
+  }
+}
+
 TEST(FaultSoak, NeverAWrongVerdictAcrossRandomSchedules) {
   FaultGuard guard;
   const int schedules = soak_schedules();
   const unsigned thread_choices[] = {1, 2, 4};
   std::mt19937_64 master(20260808);
   int degraded = 0;
+  int certified = 0;
   for (int round = 0; round < schedules; ++round) {
     const std::uint64_t seed = master();
     const std::string spec = random_schedule(master);
@@ -283,11 +309,15 @@ TEST(FaultSoak, NeverAWrongVerdictAcrossRandomSchedules) {
     std::vector<SatResult> reference =
         FuzzScript(seed).run(f_ref, *ref_solver, with_php);
 
-    // Faulted replay.
+    // Faulted replay, with proof logging on: every Unsat the degraded
+    // session still produces must come with a checkable certificate (or
+    // one that is honest about being aborted by the fault).
     ASSERT_TRUE(fault::configure(spec.c_str())) << spec;
     ExprFactory f_flt;
     auto solver = make_solver(f_flt, Backend::Native);
     solver->set_threads(threads);
+    CaptureSink sink;
+    solver->set_proof_sink(&sink);
     std::vector<SatResult> faulted =
         FuzzScript(seed).run(f_flt, *solver, with_php);
 
@@ -311,10 +341,38 @@ TEST(FaultSoak, NeverAWrongVerdictAcrossRandomSchedules) {
     EXPECT_EQ(solver->check(), reference.back())
         << "session not reusable after faults: spec=" << spec
         << " seed=" << seed;
+
+    // Certification invariant under faults: one certificate per Unsat
+    // check (the post-clear re-check included), each either accepted by
+    // the standalone checker or honestly incomplete with a reason.
+    std::size_t unsat_checks = reference.back() == SatResult::Unsat ? 1 : 0;
+    for (const SatResult v : faulted) {
+      if (v == SatResult::Unsat) ++unsat_checks;
+    }
+    EXPECT_EQ(sink.certs.size(), unsat_checks)
+        << "certificates != Unsat checks: spec=" << spec << " seed=" << seed;
+    dump_certs(sink);
+    for (std::size_t i = 0; i < sink.certs.size(); ++i) {
+      const Certificate& cert = sink.certs[i];
+      const proofcheck::CheckResult res =
+          proofcheck::check_proof_text(cert.text);
+      if (cert.complete) {
+        EXPECT_TRUE(res.ok)
+            << "cert " << i << " rejected (" << res.reason << ": "
+            << res.detail << ") spec=" << spec << " seed=" << seed;
+        EXPECT_EQ(res.mode, "native");
+        ++certified;
+      } else {
+        EXPECT_FALSE(cert.reason.empty())
+            << "incomplete certificate without a reason: spec=" << spec;
+      }
+    }
   }
   // The harness must actually bite: across hundreds of schedules at
-  // least one fault has to land mid-search and degrade a verdict.
+  // least one fault has to land mid-search and degrade a verdict, and
+  // the certification path must have validated real refutations.
   EXPECT_GT(degraded, 0) << "no schedule ever fired — soak is vacuous";
+  EXPECT_GT(certified, 0) << "no Unsat was ever certified — soak is vacuous";
 }
 
 TEST(FaultSoak, WorkerKillDegradesParallelCheckNotVerdictSoundness) {

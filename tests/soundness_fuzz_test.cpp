@@ -8,9 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "advocat/verifier.hpp"
+#include "proof_check.hpp"
 #include "sim/explorer.hpp"
 #include "sim/simulator.hpp"
 #include "xmas/network.hpp"
@@ -188,6 +192,150 @@ TEST_P(SoundnessFuzz, NoMissedDeadlocks) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SoundnessFuzz,
                          ::testing::Values(101, 202, 303, 404, 505, 606, 707,
                                            808));
+
+// ------------------------------------------------------------ certification
+// Every Unsat ("deadlock-free") verdict the fuzzer produces must come with
+// a certificate that the standalone checker accepts — across sequential,
+// parallel (clause exchange on), and budget-degraded configurations.
+
+struct CaptureSink : smt::ProofSink {
+  void on_unsat_certificate(const smt::Certificate& cert) override {
+    certs.push_back(cert);
+  }
+  std::vector<smt::Certificate> certs;
+};
+
+// When ADVOCAT_PROOF_DIR is set (the CI certification step), every
+// captured certificate is also serialized so the standalone advocat-check
+// binary revalidates the same refutations out of process.
+void dump_certs(const CaptureSink& sink) {
+  static const char* dir = std::getenv("ADVOCAT_PROOF_DIR");
+  if (dir == nullptr) return;
+  static std::size_t serial = 0;
+  for (const smt::Certificate& cert : sink.certs) {
+    std::ofstream out(std::string(dir) + "/fuzz_" + std::to_string(serial++) +
+                      ".proof");
+    out << cert.text;
+  }
+}
+
+// Runs the checker over every captured certificate. Complete certificates
+// must validate as replayable native proofs; incomplete ones must say why
+// and still parse as (attested) certificates.
+void expect_all_certified(const CaptureSink& sink, const std::string& where) {
+  dump_certs(sink);
+  for (std::size_t i = 0; i < sink.certs.size(); ++i) {
+    const smt::Certificate& cert = sink.certs[i];
+    const proofcheck::CheckResult res = proofcheck::check_proof_text(cert.text);
+    if (cert.complete) {
+      EXPECT_TRUE(res.ok) << where << " cert " << i << " rejected: "
+                          << res.reason << " (" << res.detail << ")";
+      EXPECT_EQ(res.mode, "native") << where << " cert " << i;
+    } else {
+      EXPECT_FALSE(cert.reason.empty())
+          << where << " cert " << i << " incomplete without a reason";
+    }
+    EXPECT_GT(cert.proof_bytes, 0u) << where << " cert " << i;
+  }
+}
+
+TEST_P(SoundnessFuzz, EveryUnsatVerdictCertified) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) ^ 0x9e3779b9u);
+  int certified = 0;
+  const int rounds = fuzz_rounds();
+  for (int round = 0; round < rounds; ++round) {
+    bool all_sources_fair = false;
+    const Network net = random_network(rng, &all_sources_fair);
+    ASSERT_TRUE(net.validate().empty());
+    (void)all_sources_fair;
+
+    // Rotate thread counts across rounds: 1 (sequential), 2, 4 (cube /
+    // portfolio search with clause exchange on, the default).
+    const unsigned threads[] = {1, 2, 4};
+    for (unsigned t : threads) {
+      CaptureSink sink;
+      core::VerifyOptions vo;
+      vo.backend = smt::Backend::Native;  // Z3 certificates are attested-only
+      vo.threads = t;
+      vo.proof_sink = &sink;
+      const core::VerifyResult verdict = core::verify(net, vo);
+      if (verdict.deadlock_free()) {
+        EXPECT_FALSE(sink.certs.empty())
+            << "Unsat verdict without a certificate (seed " << GetParam()
+            << " round " << round << " threads " << t << ")";
+        certified += static_cast<int>(sink.certs.size());
+      } else {
+        EXPECT_TRUE(sink.certs.empty())
+            << "certificate emitted on a non-Unsat verdict (seed "
+            << GetParam() << " round " << round << " threads " << t << ")";
+      }
+      expect_all_certified(sink, "threads=" + std::to_string(t));
+    }
+
+    // Budget-degraded pass: a tight conflict ceiling may degrade the
+    // verdict to Unknown (then no certificate is owed), but an Unsat that
+    // still completes under the ceiling must certify like any other.
+    {
+      CaptureSink sink;
+      core::VerifyOptions vo;
+      vo.backend = smt::Backend::Native;
+      vo.proof_sink = &sink;
+      vo.budget.max_conflicts = 15;
+      const core::VerifyResult verdict = core::verify(net, vo);
+      if (verdict.deadlock_free()) {
+        EXPECT_FALSE(sink.certs.empty())
+            << "budget-degraded Unsat without a certificate (seed "
+            << GetParam() << " round " << round << ")";
+      }
+      expect_all_certified(sink, "budgeted");
+    }
+  }
+  // The generator must have produced at least one certified refutation;
+  // otherwise this test silently checked nothing.
+  EXPECT_GT(certified, 0) << "seed " << GetParam()
+                          << " never produced an Unsat verdict";
+}
+
+// Installing a proof sink must not perturb the verdict or the
+// determinism-mode solver statistics: logging reads the search, it never
+// steers it.
+TEST(ProofLogging, DoesNotPerturbVerdictsOrDeterministicStats) {
+  std::mt19937_64 rng(4242);
+  for (int round = 0; round < 4; ++round) {
+    bool all_sources_fair = false;
+    const Network net = random_network(rng, &all_sources_fair);
+    ASSERT_TRUE(net.validate().empty());
+    (void)all_sources_fair;
+
+    core::VerifyOptions base;
+    base.backend = smt::Backend::Native;
+    base.threads = 2;
+    base.deterministic = true;
+
+    const core::VerifyResult plain = core::verify(net, base);
+
+    CaptureSink sink;
+    core::VerifyOptions logged = base;
+    logged.proof_sink = &sink;
+    const core::VerifyResult with_log = core::verify(net, logged);
+
+    EXPECT_EQ(plain.report.result, with_log.report.result)
+        << "round " << round;
+    EXPECT_EQ(plain.solve_stats.decisions, with_log.solve_stats.decisions)
+        << "round " << round;
+    EXPECT_EQ(plain.solve_stats.conflicts, with_log.solve_stats.conflicts)
+        << "round " << round;
+    EXPECT_EQ(plain.solve_stats.propagations,
+              with_log.solve_stats.propagations)
+        << "round " << round;
+    EXPECT_EQ(plain.solve_stats.restarts, with_log.solve_stats.restarts)
+        << "round " << round;
+    EXPECT_EQ(plain.solve_stats.learned_clauses,
+              with_log.solve_stats.learned_clauses)
+        << "round " << round;
+    expect_all_certified(sink, "determinism round " + std::to_string(round));
+  }
+}
 
 }  // namespace
 }  // namespace advocat

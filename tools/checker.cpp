@@ -1,0 +1,47 @@
+// advocat-check — standalone certificate validator (docs/PROOFS.md).
+//
+//   advocat-check [-q] <proof-file>...
+//
+// Validates each certificate independently and prints one line per file:
+//   ACCEPT <file> mode=<native|attested> clauses=<n> steps=<n>
+//   REJECT <file> reason=<reason> (<detail>)
+// Exit status 0 iff every file was accepted. `-q` suppresses ACCEPT lines
+// (CI runs it over hundreds of refutations).
+//
+// This binary links only the proof-checker library and the exact-number
+// primitives — no solver, search, or encoder code — so an acceptance is
+// evidence independent of the toolchain that produced the certificate.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "proof_check.hpp"
+
+int main(int argc, char** argv) {
+  bool quiet = false;
+  int first = 1;
+  if (first < argc && std::strcmp(argv[first], "-q") == 0) {
+    quiet = true;
+    ++first;
+  }
+  if (first >= argc) {
+    std::fprintf(stderr, "usage: advocat-check [-q] <proof-file>...\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = first; i < argc; ++i) {
+    const advocat::proofcheck::CheckResult r =
+        advocat::proofcheck::check_proof_file(argv[i]);
+    if (r.ok) {
+      if (!quiet) {
+        std::printf("ACCEPT %s mode=%s clauses=%zu steps=%zu\n", argv[i],
+                    r.mode.c_str(), r.clauses, r.steps);
+      }
+    } else {
+      ++failures;
+      std::printf("REJECT %s reason=%s (%s)\n", argv[i], r.reason.c_str(),
+                  r.detail.c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
